@@ -1,0 +1,1 @@
+"""Figure/table benchmarks for the Mnemonic reproduction (pytest-benchmark)."""

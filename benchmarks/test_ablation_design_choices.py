@@ -1,0 +1,86 @@
+"""Ablation: the engine's individual design choices.
+
+Not a paper figure — DESIGN.md calls for ablation benches on the design
+choices the paper argues for.  Two are measured here on the NetFlow-like
+workload:
+
+* **f2/f3 label-degree pruning** (`use_degree_filter`): enumeration-time
+  candidate pruning.  Disabling it must not change the answers (the
+  correctness tests assert this too) and shows how much work it saves.
+* **edge-slot recycling** (`recycle_edge_ids`): affects memory only —
+  runtime and answers must be unchanged, placeholders must shrink.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.bench.harness import run_mnemonic_stream
+from repro.bench.reporting import format_table
+
+SUFFIX = 600
+BATCH_SIZE = 256
+
+
+def _run(stream, workload):
+    rows = []
+    checks = []
+    prefix = len(stream) - SUFFIX
+    for suite, query in workload:
+        runs = {}
+        for label, kwargs in (
+            ("full", {}),
+            ("no-degree-filter", {}),
+            ("no-recycling", {"recycle_edge_ids": False}),
+        ):
+            run = run_mnemonic_stream(query, stream, initial_prefix=prefix,
+                                      batch_size=BATCH_SIZE, query_name=suite, **kwargs)
+            runs[label] = run
+        # The degree filter is an engine config knob; re-run with it disabled.
+        from repro.core.engine import EngineConfig, MnemonicEngine
+        from repro.streams.config import StreamConfig
+        from repro.streams.events import EventKind
+
+        config = EngineConfig(stream=StreamConfig(batch_size=BATCH_SIZE),
+                              use_degree_filter=False, collect_embeddings=False)
+        engine = MnemonicEngine(query, config=config)
+        engine.load_initial([e for e in stream[:prefix] if e.kind is EventKind.INSERT])
+        import time
+
+        start = time.perf_counter()
+        result = engine.run(list(stream[prefix:]))
+        no_filter_seconds = time.perf_counter() - start
+
+        rows.append([
+            suite,
+            runs["full"].seconds,
+            no_filter_seconds,
+            runs["no-recycling"].seconds,
+            runs["full"].embeddings,
+            result.total_positive,
+            runs["full"].extra["placeholders"],
+            runs["no-recycling"].extra["placeholders"],
+        ])
+        checks.append((runs["full"].embeddings, result.total_positive,
+                       runs["no-recycling"].embeddings,
+                       runs["full"].extra["placeholders"],
+                       runs["no-recycling"].extra["placeholders"]))
+    return rows, checks
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_design_choices(benchmark, netflow_workload):
+    stream, workload = netflow_workload
+    rows, checks = benchmark.pedantic(_run, args=(stream, workload), rounds=1, iterations=1)
+    table = format_table(
+        "Ablation - degree pruning and edge-slot recycling",
+        ["suite", "full_s", "no_degree_filter_s", "no_recycling_s",
+         "embeddings", "embeddings_no_filter", "placeholders", "placeholders_no_recycling"],
+        rows,
+    )
+    write_result("ablation_design_choices", table)
+    for full_emb, nofilter_emb, norecycle_emb, ph_full, ph_norecycle in checks:
+        # Neither knob may change the answers; recycling may only shrink slots.
+        assert full_emb == nofilter_emb == norecycle_emb
+        assert ph_full <= ph_norecycle

@@ -1,0 +1,64 @@
+"""Figure 6: Mnemonic vs TurboFlux on an insert-only NetFlow-like stream.
+
+The paper streams 0.2M / 2M / 10M edge insertions (the rest of the trace
+is the initial graph) and reports per-suite runtimes; Mnemonic wins by
+7.8x on average at 0.2M with the gap coming from batching and
+finer-grained parallel enumeration.  The reproduction streams scaled
+suffixes of the synthetic trace and reports the same table: runtime per
+query suite per stream size for both systems, plus the speedup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.bench.harness import run_mnemonic_stream, run_turboflux_stream
+from repro.bench.metrics import mean_runtime
+from repro.bench.reporting import format_table
+
+#: streamed suffix sizes (the paper's 0.2M / 2M / 10M, scaled)
+STREAM_SIZES = (200, 500, 1000)
+BATCH_SIZE = 256
+
+
+def _run(stream, workload):
+    rows = []
+    speedups: dict[str, list[float]] = {}
+    for suffix in STREAM_SIZES:
+        prefix = len(stream) - suffix
+        for suite, query in workload:
+            mnemonic = run_mnemonic_stream(
+                query, stream, initial_prefix=prefix, batch_size=BATCH_SIZE, query_name=suite,
+            )
+            turboflux = run_turboflux_stream(
+                query, stream, initial_prefix=prefix, query_name=suite,
+            )
+            speedup = turboflux.seconds / mnemonic.seconds if mnemonic.seconds > 0 else 0.0
+            speedups.setdefault(suite, []).append(speedup)
+            rows.append([
+                f"{suffix}", suite,
+                mnemonic.seconds, turboflux.seconds, speedup,
+                mnemonic.embeddings, turboflux.embeddings,
+            ])
+    for suite, values in speedups.items():
+        rows.append(["-", f"mean {suite}", "-", "-", mean_runtime(values), "-", "-"])
+    return rows, speedups
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_netflow_insert_only(benchmark, netflow_workload):
+    stream, workload = netflow_workload
+    rows, speedups = benchmark.pedantic(_run, args=(stream, workload), rounds=1, iterations=1)
+    table = format_table(
+        "Figure 6 - insert-only NetFlow stream: runtime (s) per query suite",
+        ["stream", "suite", "mnemonic_s", "turboflux_s", "speedup", "mn_embeddings", "tf_embeddings"],
+        rows,
+    )
+    write_result("fig06_netflow_insert_only", table)
+    # Shape check (see EXPERIMENTS.md): the paper's gap grows with query
+    # size; at Python scale we check that the advantage over TurboFlux is
+    # larger for the biggest tree suite than for the smallest one.
+    smallest = f"T_{min(int(s.split('_')[1]) for s in speedups if s.startswith('T_'))}"
+    largest = f"T_{max(int(s.split('_')[1]) for s in speedups if s.startswith('T_'))}"
+    assert mean_runtime(speedups[largest]) > mean_runtime(speedups[smallest])

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Cyber-attack pattern detection over a sliding window (LANL-style workload).
+
+The paper motivates Mnemonic with cyber forensics: repeated events between
+the same hosts must be kept apart (a login *after* a compromise is not the
+same as one before), and the search context is a sliding time window.
+
+This example:
+
+1. generates a synthetic LANL-like event stream (typed entities, three
+   edge labels, timestamps with a diurnal profile);
+2. defines a *time-constrained* lateral-movement pattern: a user
+   authenticates to host A, host A connects to host B, and host B then
+   starts an outbound flow — in that temporal order;
+3. runs the engine with a sliding window so that stale events age out;
+4. reports matches per window and the memory footprint over time.
+
+Run with::
+
+    python examples/cyber_attack_detection.py
+"""
+
+from repro import EngineConfig, MnemonicEngine, QueryGraph, StreamConfig
+from repro.datasets import LANLConfig, generate_lanl_stream
+from repro.matchers import TemporalIsomorphismMatcher
+from repro.streams.config import StreamType
+
+# LANL-style schema used by the generator: node types 0..5, edge labels 0..2.
+AUTH, CONNECT, FLOW = 0, 1, 2
+
+
+def lateral_movement_query() -> QueryGraph:
+    """user -> hostA -> hostB -> external, in temporal order.
+
+    Node types are constrained (user, host, host, external); the edge
+    labels are left as wildcards so that the pattern stays findable on
+    the small synthetic stream — on a real LANL trace one would pin them
+    to AUTH / CONNECT / FLOW respectively.
+    """
+    query = QueryGraph()
+    query.add_node(0, 0)   # user entity (type 0)
+    query.add_node(1, 1)   # host A (type 1)
+    query.add_node(2, 1)   # host B (type 1)
+    query.add_node(3, 2)   # external service (type 2)
+    query.add_edge(0, 1, time_rank=0)
+    query.add_edge(1, 2, time_rank=1)
+    query.add_edge(2, 3, time_rank=2)
+    query.validate()
+    return query
+
+
+def main() -> None:
+    stream = generate_lanl_stream(LANLConfig(num_events=8000, num_entities=400, seed=97))
+    query = lateral_movement_query()
+
+    window = 24 * 60.0        # one synthetic "day"
+    stride = 6 * 60.0         # advance six synthetic hours per snapshot
+    engine = MnemonicEngine(
+        query,
+        match_def=TemporalIsomorphismMatcher(),
+        config=EngineConfig(
+            stream=StreamConfig(stream_type=StreamType.SLIDING_WINDOW,
+                                window=window, stride=stride),
+        ),
+    )
+
+    print(f"events={len(stream)}  window={window:.0f}  stride={stride:.0f}")
+    print(f"{'snap':>4}  {'inserts':>8}  {'expired':>8}  {'new':>6}  {'gone':>6}  "
+          f"{'live edges':>10}  {'placeholders':>12}")
+
+    total_alerts = 0
+    generator = engine.initialize_stream(stream)
+    for snapshot in generator:
+        result = engine.process_snapshot(snapshot)
+        total_alerts += result.num_positive
+        print(f"{snapshot.number:>4}  {result.num_insertions:>8}  {result.num_deletions:>8}  "
+              f"{result.num_positive:>6}  {result.num_negative:>6}  "
+              f"{result.live_edges:>10}  {result.edge_placeholders:>12}")
+
+    print(f"\ntotal time-ordered lateral-movement matches: {total_alerts}")
+    stats = engine.graph.stats
+    print(f"edge-slot recycling rate: {stats.recycle_rate:.1%} "
+          f"({stats.recycled} of {stats.inserts} insertions reused a slot)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that editable
+installs (`pip install -e .`) work in offline environments where pip
+cannot create an isolated build environment (no network access to fetch
+the build backend).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro — a reproduction of *Mnemonic: A Parallel Subgraph Matching System
+for Streaming Graphs* (Bhattarai & Huang, IPDPS 2022).
+
+The package is organised as the paper's system diagram (Figure 2):
+
+* :mod:`repro.streams` — snapshot generation from edge streams;
+* :mod:`repro.graph` — dynamic multigraph storage with edge-id recycling
+  and external-memory spill;
+* :mod:`repro.query` — query graphs, query trees, matching orders, masks;
+* :mod:`repro.core` — DEBI, incremental filtering, parallel enumeration
+  and the :class:`~repro.core.engine.MnemonicEngine`;
+* :mod:`repro.matchers` — matching variants (isomorphism, homomorphism,
+  simulation, time-constrained isomorphism) programmed on the API;
+* :mod:`repro.baselines` — the comparison systems of the evaluation
+  (CECI, TurboFlux-style, BigJoin-style, Li et al.-style);
+* :mod:`repro.datasets` — synthetic NetFlow / LSBench / LANL workloads;
+* :mod:`repro.bench` — the measurement harness behind ``benchmarks/``.
+
+Quickstart::
+
+    from repro import MnemonicEngine, QueryGraph, StreamEvent
+
+    query = QueryGraph.from_edges([(0, 1), (1, 2)], node_labels={0: 1, 1: 2, 2: 3})
+    engine = MnemonicEngine(query)
+    result = engine.batch_inserts([
+        StreamEvent.insert(10, 11, src_label=1, dst_label=2),
+        StreamEvent.insert(11, 12, src_label=2, dst_label=3),
+    ])
+    print(result.positive_embeddings)
+"""
+
+from repro.core.api import DefaultMatchDefinition, MatchDefinition
+from repro.core.engine import EngineConfig, MnemonicEngine, RunResult, SnapshotResult, enumerate_static
+from repro.core.parallel import ParallelConfig
+from repro.core.results import Embedding, ResultSet
+from repro.graph.adjacency import DynamicGraph
+from repro.query.query_graph import QueryGraph, WILDCARD_LABEL
+from repro.streams.config import StreamConfig, StreamType
+from repro.streams.events import StreamEvent
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MnemonicEngine",
+    "EngineConfig",
+    "ParallelConfig",
+    "RunResult",
+    "SnapshotResult",
+    "enumerate_static",
+    "MatchDefinition",
+    "DefaultMatchDefinition",
+    "Embedding",
+    "ResultSet",
+    "DynamicGraph",
+    "QueryGraph",
+    "WILDCARD_LABEL",
+    "StreamConfig",
+    "StreamType",
+    "StreamEvent",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Baseline systems used in the paper's evaluation.
+
+These are independent re-implementations of the comparison points —
+deliberately *not* built on the Mnemonic engine — so the benchmark
+comparisons exercise genuinely different code paths:
+
+* :class:`repro.baselines.ceci.CECIMatcher` — a static, query-centric
+  compact candidate index rebuilt from scratch for every snapshot
+  (Figure 11, Observation #1 of Section IV);
+* :class:`repro.baselines.turboflux.TurboFluxMatcher` — an incremental,
+  data-centric matcher that processes one edge at a time, collapses
+  parallel edges, and re-traverses the affected region per edge
+  (Figures 6, 9, 14 and Table II);
+* :class:`repro.baselines.bigjoin.BigJoinMatcher` — a node-at-a-time
+  binding join with label-only filters (Table II);
+* :class:`repro.baselines.li_tcs.LiTCSMatcher` — time-constrained
+  matching with a match-store tree of partially materialised embeddings
+  (Figure 16).
+"""
+
+from repro.baselines.ceci import CECIMatcher
+from repro.baselines.turboflux import TurboFluxMatcher
+from repro.baselines.bigjoin import BigJoinMatcher
+from repro.baselines.li_tcs import LiTCSMatcher
+
+__all__ = [
+    "CECIMatcher",
+    "TurboFluxMatcher",
+    "BigJoinMatcher",
+    "LiTCSMatcher",
+]

@@ -1,0 +1,175 @@
+"""Li et al.-style time-constrained continuous subgraph search (Figure 16 baseline).
+
+Li et al. (ICDE'19) answer time-constrained subgraph queries over a
+sliding window by keeping a *match-store tree*: partially materialised
+embeddings ordered by the query's temporal order, so that a new edge
+only has to extend stored prefixes instead of re-running the search.
+The price — which the paper's Section II-C calls out — is that the
+store holds a potentially huge number of partial embeddings, and every
+insertion/eviction has to walk and update it.
+
+The reproduction keeps the same structure: query edges are processed in
+increasing ``time_rank`` order; level ``k`` of the store holds every
+partial embedding that matches the first ``k`` ranked edges with
+non-decreasing timestamps.  Insertions extend prefixes (and may complete
+embeddings); deletions prune every stored prefix that used the removed
+edge.  ``stats.stored_partials`` exposes the memory-cost metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.api import DefaultMatchDefinition, MatchDefinition
+from repro.core.results import Embedding
+from repro.graph.adjacency import DynamicGraph
+from repro.query.query_graph import QueryEdge, QueryGraph
+from repro.utils.validation import QueryError
+
+
+@dataclass
+class LiTCSStats:
+    """Work / memory counters for the match-store tree."""
+
+    edges_processed: int = 0
+    stored_partials: int = 0
+    peak_stored_partials: int = 0
+    extensions_attempted: int = 0
+    embeddings: int = 0
+
+
+@dataclass
+class _Partial:
+    """A partial embedding matching the first ``depth`` ranked query edges."""
+
+    depth: int
+    node_map: dict[int, int]
+    edge_map: dict[int, int]
+    last_timestamp: float
+
+
+class LiTCSMatcher:
+    """Incremental time-constrained isomorphism with a match-store tree."""
+
+    def __init__(self, query: QueryGraph, match_def: MatchDefinition | None = None,
+                 strict: bool = False) -> None:
+        query.validate()
+        self.query = query
+        self.match_def = match_def or DefaultMatchDefinition()
+        self.strict = strict
+        self.graph = DynamicGraph()
+        self.stats = LiTCSStats()
+        # Temporal plan: query edges sorted by time_rank (unranked edges last,
+        # by index, with no temporal constraint between them).
+        ranked = sorted(
+            query.edges(),
+            key=lambda e: (e.time_rank if e.time_rank is not None else float("inf"), e.index),
+        )
+        if not ranked:
+            raise QueryError("time-constrained matching needs at least one query edge")
+        self._plan: list[QueryEdge] = ranked
+        #: store[k] = partial embeddings that matched plan[0..k-1]
+        self._store: dict[int, list[_Partial]] = {k: [] for k in range(1, len(ranked))}
+
+    # ------------------------------------------------------------------ helpers
+    def _timestamps_ok(self, previous: float, current: float, prev_edge: QueryEdge,
+                       cur_edge: QueryEdge) -> bool:
+        if prev_edge.time_rank is None or cur_edge.time_rank is None:
+            return True
+        if prev_edge.time_rank == cur_edge.time_rank:
+            return True
+        if self.strict:
+            return previous < current
+        return previous <= current
+
+    def _compatible(self, partial_nodes: dict[int, int], q_edge: QueryEdge, src: int, dst: int) -> bool:
+        for query_node, vertex in ((q_edge.src, src), (q_edge.dst, dst)):
+            bound = partial_nodes.get(query_node)
+            if bound is not None and bound != vertex:
+                return False
+            if bound is None and self.match_def.injective and vertex in partial_nodes.values():
+                return False
+        if q_edge.src == q_edge.dst and src != dst:
+            return False
+        return True
+
+    def _count_store(self) -> int:
+        return sum(len(v) for v in self._store.values())
+
+    # ------------------------------------------------------------------ streaming API
+    def insert_edge(self, src: int, dst: int, label: int = 0, timestamp: float = 0.0,
+                    src_label: int = 0, dst_label: int = 0) -> list[Embedding]:
+        """Insert one timestamped edge, extend stored prefixes, return completions."""
+        self.stats.edges_processed += 1
+        edge_id = self.graph.add_edge(src, dst, label, timestamp, src_label, dst_label)
+        record = self.graph.edge(edge_id)
+        completed: list[Embedding] = []
+        new_partials: list[_Partial] = []
+
+        plan = self._plan
+        # The new edge may serve as the match of plan position k for existing
+        # prefixes of depth k, and as a fresh prefix at position 0.
+        for depth in range(len(plan)):
+            q_edge = plan[depth]
+            self.stats.extensions_attempted += 1
+            if not self.match_def.edge_matcher(self.query, self.graph, q_edge, record):
+                continue
+            if depth == 0:
+                base_partials = [_Partial(0, {}, {}, float("-inf"))]
+            else:
+                base_partials = self._store[depth]
+            for partial in base_partials:
+                self.stats.extensions_attempted += 1
+                if not self._timestamps_ok(partial.last_timestamp, timestamp,
+                                           plan[depth - 1] if depth else q_edge, q_edge):
+                    continue
+                if not self._compatible(partial.node_map, q_edge, src, dst):
+                    continue
+                if self.match_def.injective and edge_id in partial.edge_map.values():
+                    continue
+                node_map = dict(partial.node_map)
+                node_map[q_edge.src] = src
+                node_map[q_edge.dst] = dst
+                edge_map = dict(partial.edge_map)
+                edge_map[q_edge.index] = edge_id
+                extended = _Partial(depth + 1, node_map, edge_map, timestamp)
+                if extended.depth == len(plan):
+                    completed.append(
+                        Embedding.build(node_map, edge_map, start_edge=q_edge.index)
+                    )
+                else:
+                    new_partials.append(extended)
+
+        for partial in new_partials:
+            self._store[partial.depth].append(partial)
+        self.stats.stored_partials = self._count_store()
+        self.stats.peak_stored_partials = max(self.stats.peak_stored_partials,
+                                              self.stats.stored_partials)
+        self.stats.embeddings += len(completed)
+        return completed
+
+    def delete_edge(self, src: int, dst: int, label: int = 0) -> int:
+        """Delete the oldest live instance of the triple; prune stored prefixes.
+
+        Returns the number of partial embeddings evicted from the store.
+        """
+        self.stats.edges_processed += 1
+        ids = self.graph.find_edges(src, dst, label)
+        if not ids:
+            raise QueryError(f"LiTCS: no live edge ({src}, {dst}, {label}) to delete")
+        oldest = min(ids, key=lambda eid: self.graph.edge(eid).timestamp)
+        self.graph.delete_edge(oldest)
+        evicted = 0
+        for depth, partials in self._store.items():
+            kept = [p for p in partials if oldest not in p.edge_map.values()]
+            evicted += len(partials) - len(kept)
+            self._store[depth] = kept
+        self.stats.stored_partials = self._count_store()
+        return evicted
+
+    def insert_batch(self, events) -> list[Embedding]:
+        """Process (src, dst, label, timestamp[, src_label, dst_label]) tuples sequentially."""
+        out: list[Embedding] = []
+        for item in events:
+            out.extend(self.insert_edge(*item))
+        return out

@@ -1,0 +1,31 @@
+"""Measurement harness shared by the ``benchmarks/`` suite.
+
+The modules here keep the benchmark files themselves small: each
+``benchmarks/test_fig*.py`` builds a workload with :mod:`repro.datasets`,
+runs the systems through :mod:`repro.bench.harness`, and prints the
+paper-shaped table with :mod:`repro.bench.reporting`.
+"""
+
+from repro.bench.harness import (
+    BenchRun,
+    run_bigjoin_inserts,
+    run_ceci_per_snapshot,
+    run_litcs_stream,
+    run_mnemonic_stream,
+    run_turboflux_stream,
+)
+from repro.bench.metrics import cpu_usage_timeline, speedup_table
+from repro.bench.reporting import format_series, format_table
+
+__all__ = [
+    "BenchRun",
+    "run_mnemonic_stream",
+    "run_turboflux_stream",
+    "run_bigjoin_inserts",
+    "run_ceci_per_snapshot",
+    "run_litcs_stream",
+    "cpu_usage_timeline",
+    "speedup_table",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,247 @@
+"""Runner helpers that execute each system on a workload and time it.
+
+Every helper returns a :class:`BenchRun` so the benchmark scripts can
+build paper-shaped tables without caring which engine produced the
+numbers.  All helpers accept pre-built streams (lists of
+:class:`~repro.streams.StreamEvent`) so dataset generation cost never
+pollutes the measured runtime.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.baselines.bigjoin import BigJoinMatcher
+from repro.baselines.ceci import CECIMatcher
+from repro.baselines.li_tcs import LiTCSMatcher
+from repro.baselines.turboflux import TurboFluxMatcher
+from repro.core.api import MatchDefinition
+from repro.core.engine import EngineConfig, MnemonicEngine, RunResult
+from repro.core.parallel import ParallelConfig
+from repro.datasets.queries import graph_from_events
+from repro.query.query_graph import QueryGraph
+from repro.streams.config import StreamConfig, StreamType
+from repro.streams.events import EventKind, StreamEvent
+
+
+@dataclass
+class BenchRun:
+    """Outcome of running one system on one (query, stream) pair."""
+
+    system: str
+    query_name: str
+    seconds: float
+    embeddings: int
+    #: negative (destroyed) embeddings for insert/delete workloads
+    negative_embeddings: int = 0
+    #: auxiliary metrics (traversals, stored partials, index entries, ...)
+    extra: dict = field(default_factory=dict)
+    #: the engine RunResult when the system is Mnemonic (None otherwise)
+    run_result: RunResult | None = None
+
+    @property
+    def throughput(self) -> float:
+        """Embeddings per second (0 when nothing was found)."""
+        if self.seconds <= 0:
+            return 0.0
+        return (self.embeddings + self.negative_embeddings) / self.seconds
+
+
+# ---------------------------------------------------------------------- Mnemonic
+def run_mnemonic_stream(
+    query: QueryGraph,
+    stream: Sequence[StreamEvent],
+    match_def: MatchDefinition | None = None,
+    initial_prefix: int = 0,
+    batch_size: int = 1024,
+    stream_type: StreamType = StreamType.INSERT_ONLY,
+    window: float | None = None,
+    stride: float | None = None,
+    parallel: ParallelConfig | None = None,
+    in_memory_window: int | None = None,
+    collect_embeddings: bool = False,
+    recycle_edge_ids: bool = True,
+    query_name: str = "query",
+) -> BenchRun:
+    """Run the Mnemonic engine over ``stream`` and time the streaming part.
+
+    The first ``initial_prefix`` events are loaded (and indexed) before the
+    clock starts, mirroring the paper's setup where the remainder of the
+    trace forms the initial graph snapshot.
+    """
+    config = EngineConfig(
+        stream=StreamConfig(
+            stream_type=stream_type,
+            batch_size=batch_size,
+            window=window,
+            stride=stride,
+            in_memory_window=in_memory_window,
+        ),
+        parallel=parallel or ParallelConfig(),
+        collect_embeddings=collect_embeddings,
+        recycle_edge_ids=recycle_edge_ids,
+    )
+    engine = MnemonicEngine(query, match_def=match_def, config=config)
+    prefix = stream[:initial_prefix]
+    suffix = stream[initial_prefix:]
+    if prefix:
+        engine.load_initial([e for e in prefix if e.kind is EventKind.INSERT])
+    start = time.perf_counter()
+    result = engine.run(list(suffix))
+    elapsed = time.perf_counter() - start
+    return BenchRun(
+        system="Mnemonic",
+        query_name=query_name,
+        seconds=elapsed,
+        embeddings=result.total_positive,
+        negative_embeddings=result.total_negative,
+        extra={
+            "filter_traversals": result.total_filter_traversals,
+            "snapshots": len(result.snapshots),
+            "placeholders": engine.graph.num_placeholders,
+            "live_edges": engine.graph.num_edges,
+            "debi_bits": engine.debi.total_bits_set(),
+        },
+        run_result=result,
+    )
+
+
+# ---------------------------------------------------------------------- TurboFlux
+def run_turboflux_stream(
+    query: QueryGraph,
+    stream: Sequence[StreamEvent],
+    match_def: MatchDefinition | None = None,
+    initial_prefix: int = 0,
+    query_name: str = "query",
+) -> BenchRun:
+    """Run the TurboFlux-style baseline edge-by-edge over the stream."""
+    matcher = TurboFluxMatcher(query, match_def=match_def)
+    prefix = stream[:initial_prefix]
+    suffix = stream[initial_prefix:]
+    for event in prefix:
+        if event.kind is EventKind.INSERT:
+            matcher.load_edge(event.src, event.dst, event.label,
+                              event.src_label, event.dst_label)
+        else:
+            matcher.delete_edge(event.src, event.dst, event.label)
+    positives = 0
+    negatives = 0
+    start = time.perf_counter()
+    for event in suffix:
+        if event.kind is EventKind.INSERT:
+            positives += len(matcher.insert_edge(event.src, event.dst, event.label,
+                                                 event.src_label, event.dst_label))
+        else:
+            negatives += len(matcher.delete_edge(event.src, event.dst, event.label))
+    elapsed = time.perf_counter() - start
+    return BenchRun(
+        system="TurboFlux",
+        query_name=query_name,
+        seconds=elapsed,
+        embeddings=positives,
+        negative_embeddings=negatives,
+        extra={
+            "traversed_edges": matcher.stats.traversed_edges,
+            "state_recomputations": matcher.stats.state_recomputations,
+            "suppressed_duplicates": matcher.stats.suppressed_duplicates,
+        },
+    )
+
+
+# ---------------------------------------------------------------------- BigJoin
+def run_bigjoin_inserts(
+    query: QueryGraph,
+    stream: Sequence[StreamEvent],
+    match_def: MatchDefinition | None = None,
+    initial_prefix: int = 0,
+    batch_size: int = 1024,
+    query_name: str = "query",
+) -> BenchRun:
+    """Run the BigJoin-style delta join over an insert-only stream."""
+    matcher = BigJoinMatcher(query, match_def=match_def)
+    to_tuple = lambda e: (e.src, e.dst, e.label, e.timestamp, e.src_label, e.dst_label)  # noqa: E731
+    prefix = [to_tuple(e) for e in stream[:initial_prefix]]
+    suffix = [to_tuple(e) for e in stream[initial_prefix:]]
+    if prefix:
+        matcher.insert_batch(prefix)
+        matcher.stats.embeddings = 0
+    embeddings = 0
+    start = time.perf_counter()
+    for i in range(0, len(suffix), batch_size):
+        embeddings += len(matcher.insert_batch(suffix[i : i + batch_size]))
+    elapsed = time.perf_counter() - start
+    return BenchRun(
+        system="BigJoin",
+        query_name=query_name,
+        seconds=elapsed,
+        embeddings=embeddings,
+        extra={
+            "intermediate_results": matcher.stats.intermediate_results,
+            "intersections": matcher.stats.intersections,
+        },
+    )
+
+
+# ---------------------------------------------------------------------- CECI
+def run_ceci_per_snapshot(
+    query: QueryGraph,
+    stream: Sequence[StreamEvent],
+    snapshot_points: Sequence[int],
+    match_def: MatchDefinition | None = None,
+    query_name: str = "query",
+) -> BenchRun:
+    """Re-run CECI from scratch at each snapshot point; report the mean per-snapshot time."""
+    total = 0.0
+    embeddings = 0
+    for point in snapshot_points:
+        graph = graph_from_events(stream[:point])
+        matcher = CECIMatcher(query, match_def=match_def)
+        start = time.perf_counter()
+        found = matcher.match(graph)
+        total += time.perf_counter() - start
+        embeddings += len(found)
+    mean = total / max(len(snapshot_points), 1)
+    return BenchRun(
+        system="CECI",
+        query_name=query_name,
+        seconds=mean,
+        embeddings=embeddings,
+        extra={"snapshots": len(snapshot_points), "total_seconds": total},
+    )
+
+
+# ---------------------------------------------------------------------- Li et al.
+def run_litcs_stream(
+    query: QueryGraph,
+    stream: Sequence[StreamEvent],
+    initial_prefix: int = 0,
+    query_name: str = "query",
+    strict: bool = False,
+) -> BenchRun:
+    """Run the Li et al.-style time-constrained matcher over the stream."""
+    matcher = LiTCSMatcher(query, strict=strict)
+    to_tuple = lambda e: (e.src, e.dst, e.label, e.timestamp, e.src_label, e.dst_label)  # noqa: E731
+    for event in stream[:initial_prefix]:
+        matcher.insert_edge(*to_tuple(event))
+    embeddings = 0
+    negatives = 0
+    start = time.perf_counter()
+    for event in stream[initial_prefix:]:
+        if event.kind is EventKind.INSERT:
+            embeddings += len(matcher.insert_edge(*to_tuple(event)))
+        else:
+            negatives += matcher.delete_edge(event.src, event.dst, event.label)
+    elapsed = time.perf_counter() - start
+    return BenchRun(
+        system="Li et al.",
+        query_name=query_name,
+        seconds=elapsed,
+        embeddings=embeddings,
+        negative_embeddings=0,
+        extra={
+            "peak_stored_partials": matcher.stats.peak_stored_partials,
+            "evicted_partials": negatives,
+        },
+    )

@@ -1,0 +1,71 @@
+"""Derived metrics used by the figure-shaped benchmarks."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.engine import RunResult
+
+
+def speedup_table(baseline_seconds: dict[str, float], system_seconds: dict[str, float]) -> dict[str, float]:
+    """Per-key speedup of ``system`` over ``baseline`` (baseline / system)."""
+    out: dict[str, float] = {}
+    for key, base in baseline_seconds.items():
+        mine = system_seconds.get(key)
+        if mine is None or mine <= 0:
+            continue
+        out[key] = base / mine
+    return out
+
+
+def cpu_usage_timeline(run_result: RunResult, buckets: int = 20) -> list[tuple[float, float]]:
+    """Mean worker utilisation over normalised runtime (the Figure 7 curve).
+
+    Worker busy intervals from every enumeration phase are folded onto a
+    single normalised time axis split into ``buckets`` slots; the value of
+    each slot is the mean fraction of workers busy during that slot.
+    """
+    intervals: list[tuple[float, float]] = []
+    horizon = 0.0
+    offset = 0.0
+    worker_count = 1
+    for snapshot in run_result.snapshots:
+        for outcome in snapshot.enumeration_outcomes:
+            worker_count = max(worker_count, len(outcome.worker_stats) or 1)
+            for stats in outcome.worker_stats:
+                for start, end in stats.busy_intervals:
+                    intervals.append((offset + start, offset + end))
+            offset += outcome.wall_seconds
+    horizon = offset
+    if horizon <= 0 or not intervals:
+        return [(i / buckets, 0.0) for i in range(buckets)]
+
+    series: list[tuple[float, float]] = []
+    bucket_width = horizon / buckets
+    for b in range(buckets):
+        lo = b * bucket_width
+        hi = lo + bucket_width
+        busy = 0.0
+        for start, end in intervals:
+            overlap = min(end, hi) - max(start, lo)
+            if overlap > 0:
+                busy += overlap
+        utilisation = busy / (bucket_width * worker_count)
+        series.append(((b + 0.5) / buckets, min(1.0, utilisation)))
+    return series
+
+
+def traversals_per_update(run_result: RunResult) -> float:
+    """Mean number of filtering traversals per updated edge (Figure 8 metric)."""
+    updates = sum(s.num_insertions + s.num_deletions for s in run_result.snapshots)
+    if updates == 0:
+        return 0.0
+    return run_result.total_filter_traversals / updates
+
+
+def mean_runtime(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for empty input); the paper reports per-suite averages."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,46 @@
+"""Plain-text rendering of the paper-shaped tables and series.
+
+The benchmark scripts print these tables so the shape of each figure —
+who wins, by roughly what factor, where the crossover sits — can be read
+straight from ``pytest benchmarks/ --benchmark-only`` output and copied
+into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    floatfmt: str = "{:.4f}",
+) -> str:
+    """Render an aligned fixed-width table with a title line."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return floatfmt.format(cell)
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [len(col) for col in columns]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  ".join(col.ljust(widths[i]) for i, col in enumerate(columns)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Mapping[object, float] | Sequence[tuple[object, float]],
+                  value_name: str = "value") -> str:
+    """Render an (x, y) series as a two-column table."""
+    if isinstance(series, Mapping):
+        items = list(series.items())
+    else:
+        items = list(series)
+    return format_table(title, ["x", value_name], items)

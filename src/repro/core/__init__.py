@@ -1,0 +1,27 @@
+"""The Mnemonic core: DEBI, incremental filtering, enumeration and the engine.
+
+The public entry point is :class:`repro.core.engine.MnemonicEngine`, which
+implements Algorithm 1 of the paper: initialise the stream and the index,
+then for every snapshot apply the batch of insertions and deletions, keep
+DEBI up to date, and enumerate the newly formed (or destroyed) embeddings
+through the user-supplied match definition.
+"""
+
+from repro.core.api import DefaultMatchDefinition, MatchDefinition
+from repro.core.debi import DEBI
+from repro.core.engine import EngineConfig, MnemonicEngine, RunResult, SnapshotResult
+from repro.core.results import Embedding, ResultSet
+from repro.core.parallel import ParallelConfig
+
+__all__ = [
+    "MnemonicEngine",
+    "EngineConfig",
+    "RunResult",
+    "SnapshotResult",
+    "MatchDefinition",
+    "DefaultMatchDefinition",
+    "DEBI",
+    "Embedding",
+    "ResultSet",
+    "ParallelConfig",
+]

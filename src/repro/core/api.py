@@ -1,0 +1,119 @@
+"""The programmable surface of Mnemonic.
+
+The paper's key usability claim is that a new subgraph-matching variant
+only requires two application-defined functions (Figure 3/4):
+
+``edge_matcher(query, graph, q_edge, d_edge)``
+    Decides whether a data edge is a candidate match for a query edge,
+    based on node/edge labels or any other attribute.  It controls what
+    goes into DEBI.
+
+``enumerate(context, unit)``
+    Consumes a work unit (one new/deleted data edge pinned onto one
+    query edge) and yields embeddings, using the context's
+    ``get_candidates`` / ``verify_nte`` / ``save_embedding`` helpers.
+    The default implementation is the backtracking join of Figure 4.
+
+Both are bundled in a :class:`MatchDefinition`.  The library ships the
+variants evaluated in the paper (isomorphism, homomorphism, dual/strong
+simulation, time-constrained isomorphism) in :mod:`repro.matchers`, all
+expressed through this interface.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.graph.adjacency import DynamicGraph
+from repro.graph.edge import EdgeRecord
+from repro.query.query_graph import QueryEdge, QueryGraph, WILDCARD_LABEL
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.enumeration import EnumerationContext, WorkUnit
+    from repro.core.results import Embedding
+
+
+def default_edge_matcher(
+    query: QueryGraph,
+    graph: DynamicGraph,
+    q_edge: QueryEdge,
+    d_edge: EdgeRecord,
+) -> bool:
+    """The paper's Figure 4 matcher: endpoint node labels and the edge label must agree.
+
+    Wildcard query labels match anything.  Direction is implicit: the
+    data edge's source is compared against the query edge's source.
+    """
+    q_src_label = query.node_label(q_edge.src)
+    q_dst_label = query.node_label(q_edge.dst)
+    if q_src_label != WILDCARD_LABEL and q_src_label != graph.vertex_label(d_edge.src):
+        return False
+    if q_dst_label != WILDCARD_LABEL and q_dst_label != graph.vertex_label(d_edge.dst):
+        return False
+    if q_edge.label != WILDCARD_LABEL and q_edge.label != d_edge.label:
+        return False
+    return True
+
+
+class MatchDefinition:
+    """Base class bundling the two user functions plus matching options.
+
+    Subclass and override what the target variant needs:
+
+    * :meth:`edge_matcher` — candidate condition (drives DEBI content);
+    * :meth:`accept` — final predicate over a complete embedding
+      (e.g. the temporal-order check of time-constrained isomorphism);
+    * :attr:`injective` — ``True`` enforces distinct data vertices per
+      query node (isomorphism), ``False`` allows reuse (homomorphism);
+    * :attr:`bind_witnesses` — when ``True`` non-tree constraints are
+      bound to explicit witness edges and enumerated (needed when
+      :meth:`accept` inspects every query edge's data edge, e.g. the
+      temporal variant); when ``False`` they are boolean checks, as in
+      the paper's Figure 4.
+    * :meth:`enumerate` — replace the whole enumeration strategy
+      (the simulation variants do this).
+    """
+
+    #: human-readable name used in logs and benchmark tables
+    name: str = "custom"
+    injective: bool = True
+    bind_witnesses: bool = False
+
+    # ------------------------------------------------------------------ filtering
+    def edge_matcher(
+        self,
+        query: QueryGraph,
+        graph: DynamicGraph,
+        q_edge: QueryEdge,
+        d_edge: EdgeRecord,
+    ) -> bool:
+        """Return True when ``d_edge`` is a candidate match for ``q_edge``."""
+        return default_edge_matcher(query, graph, q_edge, d_edge)
+
+    def root_matcher(self, query: QueryGraph, graph: DynamicGraph, root: int, vertex: int) -> bool:
+        """Return True when ``vertex`` may be the image of the root query node."""
+        label = query.node_label(root)
+        return label == WILDCARD_LABEL or label == graph.vertex_label(vertex)
+
+    # ------------------------------------------------------------------ enumeration
+    def accept(self, context: "EnumerationContext", embedding: "Embedding") -> bool:
+        """Final filter applied to every complete embedding (default: accept)."""
+        return True
+
+    def enumerate(self, context: "EnumerationContext", unit: "WorkUnit") -> Iterator["Embedding"]:
+        """Produce the embeddings for one work unit.
+
+        The default delegates to the generic backtracking enumerator,
+        which is the implementation of the paper's Figure 4 specialised
+        by :attr:`injective`, :attr:`bind_witnesses` and :meth:`accept`.
+        """
+        from repro.core.enumeration import backtracking_enumerate
+
+        yield from backtracking_enumerate(context, unit)
+
+
+class DefaultMatchDefinition(MatchDefinition):
+    """Plain label-based subgraph isomorphism (the paper's running example)."""
+
+    name = "isomorphism"
+    injective = True

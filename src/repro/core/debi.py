@@ -1,0 +1,93 @@
+"""DEBI — the Data-graph Edge-centric Binary Index (Section IV-A).
+
+For a query tree with ``k`` non-root nodes, DEBI keeps a ``k``-bit
+bitmap per data edge id: bit ``c`` records whether the data edge is
+currently a candidate match for the query-tree edge owned by column
+``c`` (i.e. by the non-root query node with that column).  A separate
+bit-vector ``roots`` over data vertices records the candidate matches of
+the root query node.
+
+All operations on a single (edge, column) pair are O(1); rows are
+cleared when an edge id is deleted/recycled, which is what makes the
+index size non-monotonic.
+"""
+
+from __future__ import annotations
+
+from repro.query.query_tree import QueryTree
+from repro.utils.bitset import BitMatrix, BitVector
+
+
+class DEBI:
+    """Bitmap candidate index addressed by data edge id and query-tree column."""
+
+    def __init__(self, tree: QueryTree, initial_edges: int = 1024, initial_vertices: int = 1024) -> None:
+        self.tree = tree
+        # A single-node query has no tree edges; keep a 1-column matrix so the
+        # data structure stays well-formed (the column is simply never used).
+        self._bits = BitMatrix(width=max(tree.num_columns, 1), initial_rows=initial_edges)
+        self._roots = BitVector(initial_capacity=initial_vertices)
+
+    # ------------------------------------------------------------------ edge bits
+    def set(self, edge_id: int, column: int) -> None:
+        """Mark the data edge as a candidate for the query-tree edge of ``column``."""
+        self._bits.set(edge_id, column)
+
+    def clear(self, edge_id: int, column: int) -> None:
+        self._bits.clear(edge_id, column)
+
+    def get(self, edge_id: int, column: int) -> bool:
+        return self._bits.get(edge_id, column)
+
+    def row(self, edge_id: int) -> int:
+        """The full bitmap of ``edge_id`` as an integer mask."""
+        return self._bits.get_row(edge_id)
+
+    def clear_edge(self, edge_id: int) -> None:
+        """Drop every candidate bit of ``edge_id`` (edge deleted / id recycled)."""
+        self._bits.clear_row(edge_id)
+
+    def filter_candidates(self, edge_ids, column: int) -> list[int]:
+        """Return the subset of ``edge_ids`` whose bit at ``column`` is set.
+
+        Vectorized over the whole adjacency list — this is what
+        ``getCandidates`` calls on every extension step.
+        """
+        return self._bits.filter_rows_with_column(edge_ids, column)
+
+    def candidates_for_column(self, column: int):
+        """All edge ids currently marked for ``column`` (numpy array)."""
+        return self._bits.rows_with_column(column)
+
+    def column_cardinality(self, column: int) -> int:
+        """Number of candidate edges for ``column``."""
+        return self._bits.column_count(column)
+
+    # ------------------------------------------------------------------ roots
+    def set_root(self, vertex: int) -> None:
+        self._roots.set(vertex)
+
+    def clear_root(self, vertex: int) -> None:
+        self._roots.clear(vertex)
+
+    def is_root(self, vertex: int) -> bool:
+        return self._roots.get(vertex)
+
+    def root_count(self) -> int:
+        return self._roots.count()
+
+    # ------------------------------------------------------------------ bulk
+    def reset(self) -> None:
+        """Periodic reset: drop every bit (the paper's index rebuild point)."""
+        self._bits.clear_all()
+        self._roots.clear_all()
+
+    def total_bits_set(self) -> int:
+        return self._bits.count() + self._roots.count()
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the index in bytes."""
+        return self._bits.nbytes() + (len(self._roots) + 7) // 8
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DEBI(columns={self.tree.num_columns}, rows={len(self._bits)})"

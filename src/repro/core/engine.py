@@ -1,0 +1,441 @@
+"""The Mnemonic engine: Algorithm 1 of the paper.
+
+:class:`MnemonicEngine` owns the data graph, DEBI, and the per-query
+precomputation (query tree, matching orders, masks).  Its main loop
+consumes snapshots from a :class:`~repro.streams.SnapshotGenerator`,
+applies the batched insertions and deletions, keeps DEBI consistent
+through the :class:`~repro.core.filtering.IndexManager`, and enumerates
+the newly formed / destroyed embeddings through the user's
+:class:`~repro.core.api.MatchDefinition` in parallel.
+
+The engine also implements the system-level capabilities evaluated in
+the paper: memory recycling statistics (Figure 17), periodic index
+resets, and disk spill of old edges + DEBI rows through
+:class:`~repro.graph.external.ExternalEdgeStore` (Table III).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.api import DefaultMatchDefinition, MatchDefinition
+from repro.core.debi import DEBI
+from repro.core.enumeration import EnumerationContext, WorkUnit, decompose_batch
+from repro.core.filtering import IndexManager
+from repro.core.parallel import EnumerationOutcome, ParallelConfig, run_enumeration
+from repro.core.results import Embedding, ResultSet
+from repro.graph.adjacency import DynamicGraph
+from repro.graph.external import ExternalEdgeStore
+from repro.query.masking import MaskTable
+from repro.query.matching_order import build_matching_orders
+from repro.query.query_graph import QueryGraph
+from repro.query.query_tree import QueryTree
+from repro.streams.config import StreamConfig
+from repro.streams.events import EventKind, StreamEvent
+from repro.streams.generator import Snapshot, SnapshotGenerator
+from repro.streams.sources import ListSource, StreamSource
+from repro.utils.timers import Timer
+from repro.utils.validation import ConfigurationError
+
+
+@dataclass
+class EngineConfig:
+    """Engine-level knobs (stream behaviour, parallelism, pruning)."""
+
+    stream: StreamConfig = field(default_factory=StreamConfig)
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    #: apply the f2/f3 label-degree pruning during enumeration
+    use_degree_filter: bool = True
+    #: recycle edge ids / DEBI rows of deleted edges (Figure 17 "with reclaiming")
+    recycle_edge_ids: bool = True
+    #: keep embeddings in the per-snapshot results (disable to only count)
+    collect_embeddings: bool = True
+
+
+@dataclass
+class SnapshotResult:
+    """What the engine produced for one snapshot."""
+
+    number: int
+    num_insertions: int
+    num_deletions: int
+    positive_embeddings: list[Embedding] = field(default_factory=list)
+    negative_embeddings: list[Embedding] = field(default_factory=list)
+    num_positive: int = 0
+    num_negative: int = 0
+    #: (edge, column) evaluations spent updating DEBI for this snapshot
+    filter_traversals: int = 0
+    #: work units enumerated
+    work_units: int = 0
+    graph_update_seconds: float = 0.0
+    filter_seconds: float = 0.0
+    enumerate_seconds: float = 0.0
+    #: worker statistics of the enumeration phase (Figure 7 / 13)
+    enumeration_outcomes: list[EnumerationOutcome] = field(default_factory=list)
+    #: graph / index footprint after the snapshot
+    live_edges: int = 0
+    edge_placeholders: int = 0
+    debi_bits: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.graph_update_seconds + self.filter_seconds + self.enumerate_seconds
+
+    @property
+    def total_embeddings(self) -> int:
+        return self.num_positive + self.num_negative
+
+
+@dataclass
+class RunResult:
+    """Aggregated output of a full streaming run."""
+
+    snapshots: list[SnapshotResult] = field(default_factory=list)
+
+    def add(self, snapshot: SnapshotResult) -> None:
+        self.snapshots.append(snapshot)
+
+    @property
+    def total_positive(self) -> int:
+        return sum(s.num_positive for s in self.snapshots)
+
+    @property
+    def total_negative(self) -> int:
+        return sum(s.num_negative for s in self.snapshots)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.total_seconds for s in self.snapshots)
+
+    @property
+    def total_filter_traversals(self) -> int:
+        return sum(s.filter_traversals for s in self.snapshots)
+
+    def all_positive(self) -> list[Embedding]:
+        return [e for s in self.snapshots for e in s.positive_embeddings]
+
+    def all_negative(self) -> list[Embedding]:
+        return [e for s in self.snapshots for e in s.negative_embeddings]
+
+    def net_result_set(self) -> ResultSet:
+        """Positive embeddings minus the ones later destroyed (by node/edge identity)."""
+        destroyed = {
+            (e.node_map, e.edge_map) for e in self.all_negative()
+        }
+        net = ResultSet()
+        for e in self.all_positive():
+            if (e.node_map, e.edge_map) not in destroyed:
+                net.add(e)
+        return net
+
+
+class MnemonicEngine:
+    """A programmable, incremental subgraph matching engine for streaming graphs."""
+
+    def __init__(
+        self,
+        query: QueryGraph,
+        match_def: MatchDefinition | None = None,
+        config: EngineConfig | None = None,
+        graph: DynamicGraph | None = None,
+        root: int | None = None,
+    ) -> None:
+        query.validate()
+        self.query = query
+        self.match_def = match_def or DefaultMatchDefinition()
+        self.config = config or EngineConfig()
+        self.graph = graph or DynamicGraph(recycle_edge_ids=self.config.recycle_edge_ids)
+
+        # --- InitializeIndex: preprocessing / hyper-parameter selection.
+        data_label_freq: dict[int, int] = {}
+        for vertex in self.graph.vertices():
+            label = self.graph.vertex_label(vertex)
+            data_label_freq[label] = data_label_freq.get(label, 0) + 1
+        self.tree = QueryTree(query, root=root, data_label_frequencies=data_label_freq or None)
+        self.orders = build_matching_orders(query, self.tree)
+        self.masks = MaskTable(query, self.tree)
+        self.debi = DEBI(self.tree)
+        self.index_manager = IndexManager(
+            query, self.tree, self.graph, self.debi, self.match_def,
+            use_degree_filter=self.config.use_degree_filter,
+        )
+        if self.graph.num_edges:
+            # A pre-populated graph was supplied: build the index for it.
+            self.index_manager.rebuild()
+
+        # --- external-memory support (Table III)
+        self.external_store: ExternalEdgeStore | None = None
+        self._spilled_edge_ids: set[int] = set()
+        self._insertion_order: deque[int] = deque()
+        self._fetched_vertices: set[int] = set()
+        if self.config.stream.in_memory_window is not None:
+            self.external_store = ExternalEdgeStore(
+                in_memory_window=self.config.stream.in_memory_window
+            )
+
+        self.timer = Timer()
+        self._snapshot_counter = 0
+
+    # ------------------------------------------------------------------ initialisation API
+    def initialize_stream(self, source: StreamSource | Sequence[StreamEvent]) -> SnapshotGenerator:
+        """Wrap ``source`` in a snapshot generator using the engine's stream config."""
+        if isinstance(source, (list, tuple)):
+            source = ListSource(source)
+        return SnapshotGenerator(source, self.config.stream)
+
+    def load_initial(self, events: Iterable[StreamEvent | tuple]) -> int:
+        """Load an initial graph (insertions only) and index it without enumeration.
+
+        The paper's NetFlow experiments load all but the streamed suffix of
+        the trace as the initial snapshot; this is the corresponding API.
+        Returns the number of edges loaded.
+        """
+        new_ids: list[int] = []
+        for event in events:
+            event = self._coerce_insert(event)
+            new_ids.append(self._insert_event(event))
+        self.index_manager.handle_insertions(new_ids)
+        return len(new_ids)
+
+    @staticmethod
+    def _coerce_insert(event: StreamEvent | tuple) -> StreamEvent:
+        if isinstance(event, StreamEvent):
+            if event.kind is not EventKind.INSERT:
+                raise ConfigurationError("load_initial only accepts insertion events")
+            return event
+        return StreamEvent.insert(*event)
+
+    # ------------------------------------------------------------------ main loop
+    def run(self, source: StreamSource | Sequence[StreamEvent]) -> RunResult:
+        """Process the whole stream and return per-snapshot results (Algorithm 1)."""
+        generator = self.initialize_stream(source)
+        result = RunResult()
+        for snapshot in generator:
+            result.add(self.process_snapshot(snapshot))
+        return result
+
+    def process_snapshot(self, snapshot: Snapshot) -> SnapshotResult:
+        """Apply one snapshot: insert batch first, then delete batch."""
+        result = SnapshotResult(
+            number=snapshot.number,
+            num_insertions=len(snapshot.insertions),
+            num_deletions=len(snapshot.deletions),
+        )
+        if snapshot.insertions:
+            self._process_insert_batch(snapshot.insertions, result)
+        if snapshot.deletions:
+            self._process_delete_batch(snapshot.deletions, result)
+        self._maybe_spill()
+        result.live_edges = self.graph.num_edges
+        result.edge_placeholders = self.graph.num_placeholders
+        result.debi_bits = self.debi.total_bits_set()
+        self.graph.stats.sample_snapshot(
+            snapshot.number, self.graph.num_placeholders, self.graph.num_edges
+        )
+        self._snapshot_counter += 1
+        return result
+
+    # ------------------------------------------------------------------ insert path
+    def batch_inserts(self, events: Iterable[StreamEvent | tuple]) -> SnapshotResult:
+        """Insert a batch of edges and return the newly formed embeddings."""
+        events = [self._coerce_insert(e) for e in events]
+        result = SnapshotResult(number=self._snapshot_counter, num_insertions=len(events),
+                                num_deletions=0)
+        self._process_insert_batch(events, result)
+        self._snapshot_counter += 1
+        return result
+
+    def _process_insert_batch(self, events: Sequence[StreamEvent], result: SnapshotResult) -> None:
+        import time as _time
+
+        update_start = _time.perf_counter()
+        new_ids = [self._insert_event(event) for event in events]
+        start = _time.perf_counter()
+        result.graph_update_seconds += start - update_start
+
+        frontier = self.index_manager.handle_insertions(new_ids)
+        filter_end = _time.perf_counter()
+
+        context = self._make_context(batch_edge_ids=set(new_ids), positive=True)
+        units = decompose_batch(context, new_ids)
+        outcome = run_enumeration(context, units, self.config.parallel)
+        enum_end = _time.perf_counter()
+
+        result.filter_traversals += frontier.traversed_edges
+        result.work_units += len(units)
+        result.filter_seconds += filter_end - start
+        result.enumerate_seconds += enum_end - filter_end
+        result.num_positive += len(outcome.embeddings)
+        result.enumeration_outcomes.append(outcome)
+        if self.config.collect_embeddings:
+            result.positive_embeddings.extend(outcome.embeddings)
+
+    def _insert_event(self, event: StreamEvent) -> int:
+        edge_id = self.graph.add_edge(
+            event.src, event.dst, event.label, event.timestamp,
+            src_label=event.src_label, dst_label=event.dst_label,
+        )
+        # A recycled id may belong to a previously spilled edge; it is live again.
+        self._spilled_edge_ids.discard(edge_id)
+        if self.external_store is not None:
+            self._insertion_order.append(edge_id)
+        return edge_id
+
+    # ------------------------------------------------------------------ delete path
+    def batch_deletes(self, events: Iterable[StreamEvent | tuple]) -> SnapshotResult:
+        """Delete a batch of edges and return the destroyed (negative) embeddings."""
+        coerced = []
+        for event in events:
+            if isinstance(event, StreamEvent):
+                coerced.append(event)
+            else:
+                coerced.append(StreamEvent.delete(*event))
+        result = SnapshotResult(number=self._snapshot_counter, num_insertions=0,
+                                num_deletions=len(coerced))
+        self._process_delete_batch(coerced, result)
+        self._snapshot_counter += 1
+        return result
+
+    def _process_delete_batch(self, events: Sequence[StreamEvent], result: SnapshotResult) -> None:
+        import time as _time
+
+        start = _time.perf_counter()
+        # Resolve each deletion to a concrete live edge id.  Among parallel
+        # edges the instance with the event's timestamp is preferred (sliding
+        # windows expire the oldest instance); otherwise the latest one wins.
+        doomed_ids: list[int] = []
+        doomed_set: set[int] = set()
+        for event in events:
+            ids = [
+                i for i in self.graph.find_edges(event.src, event.dst, event.label)
+                if i not in doomed_set
+            ]
+            if not ids:
+                raise ConfigurationError(
+                    f"deletion of ({event.src}, {event.dst}, {event.label}) does not match a live edge"
+                )
+            preferred = [i for i in ids if self.graph.edge(i).timestamp == event.timestamp]
+            chosen = preferred[0] if preferred else ids[-1]
+            doomed_ids.append(chosen)
+            doomed_set.add(chosen)
+        resolve_end = _time.perf_counter()
+
+        # Enumerate the embeddings about to be destroyed, before mutating anything.
+        context = self._make_context(batch_edge_ids=set(doomed_ids), positive=False)
+        units = decompose_batch(context, doomed_ids)
+        outcome = run_enumeration(context, units, self.config.parallel)
+        enum_end = _time.perf_counter()
+
+        # Apply the deletions and update DEBI bottom-up / top-down.
+        deleted_records = []
+        for edge_id in doomed_ids:
+            row_mask = self.debi.row(edge_id)
+            record = self.graph.delete_edge(edge_id)
+            self.debi.clear_edge(edge_id)
+            self._spilled_edge_ids.discard(edge_id)
+            deleted_records.append((record, row_mask))
+        frontier = self.index_manager.handle_deletions(deleted_records)
+        filter_end = _time.perf_counter()
+
+        result.graph_update_seconds += resolve_end - start
+        result.enumerate_seconds += enum_end - resolve_end
+        result.filter_seconds += filter_end - enum_end
+        result.filter_traversals += frontier.traversed_edges
+        result.work_units += len(units)
+        result.num_negative += len(outcome.embeddings)
+        result.enumeration_outcomes.append(outcome)
+        if self.config.collect_embeddings:
+            result.negative_embeddings.extend(outcome.embeddings)
+
+    # ------------------------------------------------------------------ helpers
+    def _make_context(self, batch_edge_ids: set[int], positive: bool) -> EnumerationContext:
+        # The f2/f3 label-degree rules require distinct data edges per query
+        # edge, which only holds under injective matching; for homomorphism a
+        # single data edge may witness several query edges, so the filter
+        # would wrongly prune valid embeddings.
+        use_degree = self.config.use_degree_filter and self.match_def.injective
+        degree_filter = self.index_manager.degree_ok if use_degree else None
+        return EnumerationContext(
+            query=self.query,
+            tree=self.tree,
+            graph=self.graph,
+            debi=self.debi,
+            orders=self.orders,
+            masks=self.masks,
+            match_def=self.match_def,
+            batch_edge_ids=batch_edge_ids,
+            positive=positive,
+            degree_filter=degree_filter,
+            spilled_edge_ids=self._spilled_edge_ids if self.external_store else None,
+            on_spilled_access=self._on_spilled_access if self.external_store else None,
+        )
+
+    def _on_spilled_access(self, edge_id: int) -> None:
+        """Candidate access touched a spilled edge: fetch its vertex's log transaction once."""
+        if self.external_store is None:
+            return
+        record = self.graph.edge(edge_id)
+        if record.src in self._fetched_vertices:
+            return
+        self._fetched_vertices.add(record.src)
+        self.external_store.fetch_vertex(record.src)
+
+    def _maybe_spill(self) -> None:
+        """Move edges older than the in-memory window to the external store."""
+        if self.external_store is None:
+            return
+        window = self.external_store.in_memory_window
+        while len(self._insertion_order) > window:
+            edge_id = self._insertion_order.popleft()
+            if not self.graph.is_alive(edge_id) or edge_id in self._spilled_edge_ids:
+                continue
+            record = self.graph.edge(edge_id)
+            self.external_store.append(record, self.debi.row(edge_id))
+            self._spilled_edge_ids.add(edge_id)
+        self._fetched_vertices.clear()
+
+    # ------------------------------------------------------------------ maintenance / metrics
+    def reset_index(self) -> None:
+        """Periodic reset: rebuild DEBI from the current live graph."""
+        self.index_manager.rebuild()
+
+    def index_size_bits(self) -> int:
+        """Size of DEBI in bits: |E| x (|V_Q| - 1) + |V| (the paper's formula)."""
+        return (
+            self.graph.num_placeholders * max(self.tree.num_columns, 1)
+            + self.graph.num_vertices
+        )
+
+    def memory_report(self) -> dict[str, int]:
+        """Footprint summary used by the memory experiments."""
+        report = {
+            "live_edges": self.graph.num_edges,
+            "edge_placeholders": self.graph.num_placeholders,
+            "debi_bits_set": self.debi.total_bits_set(),
+            "debi_bytes": self.debi.nbytes(),
+            "recycled_inserts": self.graph.stats.recycled,
+        }
+        if self.external_store is not None:
+            report["spilled_edges"] = self.external_store.spilled_count
+            report["external_bytes"] = self.external_store.stats.bytes_written
+        return report
+
+
+# ---------------------------------------------------------------------- convenience
+def enumerate_static(
+    query: QueryGraph,
+    edges: Iterable[StreamEvent | tuple],
+    match_def: MatchDefinition | None = None,
+    config: EngineConfig | None = None,
+) -> list[Embedding]:
+    """From-scratch enumeration of a static edge set (reference implementation).
+
+    Inserting every edge as a single batch into a fresh engine enumerates
+    every embedding exactly once; tests use this as the ground truth that
+    incremental runs are compared against.
+    """
+    engine = MnemonicEngine(query, match_def=match_def, config=config)
+    result = engine.batch_inserts(list(edges))
+    return result.positive_embeddings

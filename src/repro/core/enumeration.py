@@ -1,0 +1,285 @@
+"""Embedding enumeration: work decomposition and the backtracking driver.
+
+Section VI of the paper.  After DEBI has been updated for a batch, every
+(updated data edge, matching query edge) pair becomes a *work unit*: an
+initial one-edge embedding that is extended to full embeddings by a
+backtracking join over DEBI candidates.  Work units are independent, so
+they are distributed over workers (see :mod:`repro.core.parallel`).
+
+Duplicate elimination follows the masking rule described in
+:mod:`repro.query.masking`: the unit starting at query-edge position
+``p`` may not map any query edge at a position ``< p`` to an edge of the
+current batch, and a unit starting at a *non-tree* position additionally
+requires that the pinned constraint has no witness outside the batch.
+Under this rule every newly formed (or destroyed) embedding is emitted
+by exactly one work unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.core.api import MatchDefinition
+from repro.core.debi import DEBI
+from repro.core.results import Embedding
+from repro.graph.adjacency import DynamicGraph
+from repro.query.masking import Mask, MaskTable
+from repro.query.matching_order import ExtensionStep, MatchingOrder
+from repro.query.query_graph import QueryGraph
+from repro.query.query_tree import QueryTree
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One unit of enumeration work: a data edge pinned onto a query edge."""
+
+    edge_id: int
+    start_edge: int
+
+
+class EnumerationContext:
+    """Everything a work unit needs to enumerate embeddings.
+
+    The context also exposes the three paper API calls used by custom
+    enumerators: :meth:`get_candidates`, :meth:`verify_nte` and
+    :meth:`save_embedding` (the latter simply builds the
+    :class:`~repro.core.results.Embedding` record; collection is handled
+    by the caller of the enumerator generator).
+    """
+
+    def __init__(
+        self,
+        query: QueryGraph,
+        tree: QueryTree,
+        graph: DynamicGraph,
+        debi: DEBI,
+        orders: dict[int, MatchingOrder],
+        masks: MaskTable,
+        match_def: MatchDefinition,
+        batch_edge_ids: set[int],
+        positive: bool = True,
+        degree_filter: Callable[[int, int], bool] | None = None,
+        spilled_edge_ids: set[int] | None = None,
+        on_spilled_access: Callable[[int], None] | None = None,
+    ) -> None:
+        self.query = query
+        self.tree = tree
+        self.graph = graph
+        self.debi = debi
+        self.orders = orders
+        self.masks = masks
+        self.match_def = match_def
+        self.batch_edge_ids = batch_edge_ids
+        self.positive = positive
+        self.degree_filter = degree_filter
+        self.spilled_edge_ids = spilled_edge_ids or set()
+        self.on_spilled_access = on_spilled_access
+        #: number of candidate edges inspected (enumeration-side traversal metric)
+        self.candidates_scanned = 0
+        #: number of embeddings produced across all units run on this context
+        self.embeddings_found = 0
+
+    # ------------------------------------------------------------------ paper API
+    def get_candidates(self, step: ExtensionStep, anchor_vertex: int) -> list[int]:
+        """DEBI-filtered candidate edges for ``step`` anchored at ``anchor_vertex``."""
+        if step.anchor_is_src:
+            pool = self.graph.out_edges(anchor_vertex)
+        else:
+            pool = self.graph.in_edges(anchor_vertex)
+        column = step.debi_column
+        self.candidates_scanned += len(pool)
+        if column is None:
+            out = list(pool)
+        else:
+            out = self.debi.filter_candidates(pool, column)
+        if self.on_spilled_access is not None:
+            for eid in pool:
+                self._note_access(eid)
+        return out
+
+    def verify_nte(
+        self,
+        query_edge_index: int,
+        node_map: dict[int, int],
+        mask: Mask,
+        used_edges: set[int],
+    ) -> list[int]:
+        """Witness edges for a query edge whose endpoints are both bound.
+
+        Respects the duplicate-elimination mask (masked positions may only
+        use witnesses outside the current batch).  Returns at most one
+        witness unless the match definition binds witnesses explicitly.
+        """
+        q_edge = self.query.edge(query_edge_index)
+        v_src = node_map[q_edge.src]
+        v_dst = node_map[q_edge.dst]
+        masked = mask.is_masked(query_edge_index)
+        witnesses: list[int] = []
+        for eid in self.graph.find_edges(v_src, v_dst):
+            self.candidates_scanned += 1
+            self._note_access(eid)
+            if masked and eid in self.batch_edge_ids:
+                continue
+            if self.match_def.injective and eid in used_edges:
+                continue
+            record = self.graph.edge(eid)
+            if self.match_def.edge_matcher(self.query, self.graph, q_edge, record):
+                witnesses.append(eid)
+                if not self.match_def.bind_witnesses:
+                    break
+        return witnesses
+
+    def save_embedding(
+        self, node_map: dict[int, int], edge_map: dict[int, int], start_edge: int
+    ) -> Embedding:
+        """Materialise an embedding record (paper's ``saveEmbedding``)."""
+        self.embeddings_found += 1
+        return Embedding.build(node_map, edge_map, start_edge, positive=self.positive)
+
+    # ------------------------------------------------------------------ helpers
+    def has_non_batch_witness(self, query_edge_index: int, src_vertex: int, dst_vertex: int,
+                              exclude_edge: int) -> bool:
+        """Is the constraint already witnessed by an edge outside the batch?"""
+        q_edge = self.query.edge(query_edge_index)
+        for eid in self.graph.find_edges(src_vertex, dst_vertex):
+            if eid == exclude_edge or eid in self.batch_edge_ids:
+                continue
+            if self.match_def.edge_matcher(self.query, self.graph, q_edge, self.graph.edge(eid)):
+                return True
+        return False
+
+    def degree_ok(self, vertex: int, query_node: int) -> bool:
+        if self.degree_filter is None:
+            return True
+        return self.degree_filter(vertex, query_node)
+
+    def _note_access(self, edge_id: int) -> None:
+        if self.on_spilled_access is not None and edge_id in self.spilled_edge_ids:
+            self.on_spilled_access(edge_id)
+
+
+# ---------------------------------------------------------------------- work decomposition
+def decompose_batch(
+    context: EnumerationContext,
+    batch_edge_ids: Iterable[int],
+) -> list[WorkUnit]:
+    """Build the work units for a batch (Section VI, "Work decomposition").
+
+    A unit is created for every (updated edge, query edge) pair whose
+    labels match.  Tree-edge units additionally require the DEBI bit to be
+    set — if it is not, the edge cannot participate in any embedding and
+    the unit would do no work.
+    """
+    units: list[WorkUnit] = []
+    query = context.query
+    tree = context.tree
+    for eid in batch_edge_ids:
+        record = context.graph.edge(eid)
+        for q_edge in query.edges():
+            if not context.match_def.edge_matcher(query, context.graph, q_edge, record):
+                continue
+            if tree.is_tree_edge(q_edge.index):
+                column = tree.tree_edge_for(q_edge.index).column
+                if not context.debi.get(eid, column):
+                    continue
+            units.append(WorkUnit(edge_id=eid, start_edge=q_edge.index))
+    return units
+
+
+# ---------------------------------------------------------------------- backtracking enumerator
+def backtracking_enumerate(context: EnumerationContext, unit: WorkUnit) -> Iterator[Embedding]:
+    """The default enumerator (the paper's Figure 4, generalised).
+
+    Pins ``unit.edge_id`` onto ``unit.start_edge``, then binds the
+    remaining query nodes following the cached matching order, consulting
+    DEBI for tree-edge candidates and verifying every other constraint
+    between bound nodes.  Injectivity, witness binding and the final
+    ``accept`` predicate come from the match definition.
+    """
+    query = context.query
+    graph = context.graph
+    match_def = context.match_def
+    order = context.orders[unit.start_edge]
+    mask = context.masks.mask_for(unit.start_edge)
+
+    record = graph.edge(unit.edge_id)
+    start_edge = query.edge(unit.start_edge)
+    if not match_def.edge_matcher(query, graph, start_edge, record):
+        return
+    if match_def.injective and start_edge.src != start_edge.dst and record.src == record.dst:
+        return
+    if start_edge.src == start_edge.dst and record.src != record.dst:
+        return
+
+    # Duplicate elimination for non-tree starts: the pinned constraint must
+    # not already be witnessed outside the batch (see repro.query.masking).
+    if mask.require_no_old_witness and context.has_non_batch_witness(
+        unit.start_edge, record.src, record.dst, exclude_edge=record.edge_id
+    ):
+        return
+
+    node_map: dict[int, int] = {start_edge.src: record.src, start_edge.dst: record.dst}
+    edge_map: dict[int, int] = {unit.start_edge: record.edge_id}
+
+    if not context.degree_ok(record.src, start_edge.src):
+        return
+    if not context.degree_ok(record.dst, start_edge.dst):
+        return
+
+    def verify_chain(verify_edges: tuple[int, ...], position: int, continuation):
+        if position == len(verify_edges):
+            yield from continuation()
+            return
+        q_index = verify_edges[position]
+        witnesses = context.verify_nte(q_index, node_map, mask, set(edge_map.values()))
+        if not witnesses:
+            return
+        if match_def.bind_witnesses:
+            for witness in witnesses:
+                edge_map[q_index] = witness
+                yield from verify_chain(verify_edges, position + 1, continuation)
+                del edge_map[q_index]
+        else:
+            yield from verify_chain(verify_edges, position + 1, continuation)
+
+    def extend(step_index: int):
+        if step_index == len(order.steps):
+            embedding = context.save_embedding(node_map, edge_map, unit.start_edge)
+            if match_def.accept(context, embedding):
+                yield embedding
+            else:
+                context.embeddings_found -= 1
+            return
+        step = order.steps[step_index]
+        anchor_vertex = node_map[step.anchor]
+        masked = mask.is_masked(step.tree_edge_index)
+        used_edges = set(edge_map.values())
+        for eid in context.get_candidates(step, anchor_vertex):
+            if masked and eid in context.batch_edge_ids:
+                continue
+            if match_def.injective and eid in used_edges:
+                continue
+            candidate = graph.edge(eid)
+            new_vertex = candidate.dst if step.anchor_is_src else candidate.src
+            if match_def.injective and new_vertex in node_map.values():
+                continue
+            if step.node == context.tree.root and not context.debi.is_root(new_vertex):
+                continue
+            if not context.degree_ok(new_vertex, step.node):
+                continue
+            node_map[step.node] = new_vertex
+            edge_map[step.tree_edge_index] = eid
+            yield from verify_chain(step.verify_edges, 0, lambda i=step_index: extend(i + 1))
+            del node_map[step.node]
+            del edge_map[step.tree_edge_index]
+
+    yield from verify_chain(order.start_verify_edges, 0, lambda: extend(0))
+
+
+def enumerate_units(context: EnumerationContext, units: Iterable[WorkUnit]) -> list[Embedding]:
+    """Run every unit through the match definition's enumerator (serial helper)."""
+    results: list[Embedding] = []
+    for unit in units:
+        results.extend(context.match_def.enumerate(context, unit))
+    return results

@@ -1,0 +1,51 @@
+"""The unified traversal frontier (Section V-A).
+
+When a batch of edges is inserted or deleted, the effect on DEBI
+propagates along the query tree.  Instead of traversing the affected
+region once per updated edge (the TurboFlux regime), Mnemonic collects,
+for every query-tree column, the set of data edges that must be
+(re-)evaluated, and for every query node the set of data vertices whose
+downward-consistency value may have changed.  Each (edge, column) pair
+is evaluated at most once per batch — this sharing is what Figure 8 and
+Figure 12 measure.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class UnifiedFrontier:
+    """Per-batch propagation state shared by all updated edges."""
+
+    #: column -> data edge ids waiting to be evaluated at that column
+    edge_frontier: dict[int, set[int]] = field(default_factory=lambda: defaultdict(set))
+    #: query node -> data vertices whose down(v, node) value must be re-checked
+    vertex_frontier: dict[int, set[int]] = field(default_factory=lambda: defaultdict(set))
+    #: number of (edge, column) evaluations performed for this batch
+    traversed_edges: int = 0
+
+    def seed_edge(self, column: int, edge_id: int) -> None:
+        """Schedule ``edge_id`` for evaluation at ``column``."""
+        self.edge_frontier[column].add(edge_id)
+
+    def seed_vertex(self, query_node: int, vertex: int) -> None:
+        """Schedule ``vertex`` for a down-consistency re-check at ``query_node``."""
+        self.vertex_frontier[query_node].add(vertex)
+
+    def edges_for(self, column: int) -> set[int]:
+        return self.edge_frontier.get(column, set())
+
+    def vertices_for(self, query_node: int) -> set[int]:
+        return self.vertex_frontier.get(query_node, set())
+
+    def count_traversal(self, n: int = 1) -> None:
+        self.traversed_edges += n
+
+    def total_scheduled(self) -> int:
+        """Total number of distinct (edge, column) and (vertex, node) entries."""
+        return sum(len(s) for s in self.edge_frontier.values()) + sum(
+            len(s) for s in self.vertex_frontier.values()
+        )

@@ -1,0 +1,108 @@
+"""Embedding results.
+
+An *embedding* in Mnemonic maps every query node to a data vertex and —
+because the data graph is a multigraph where edge instances carry
+context — every query edge that was explicitly bound to a concrete data
+edge id.  Deletion batches produce *negative* embeddings: matches that
+existed before the batch and are destroyed by it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """One match of the query graph in the data graph.
+
+    Attributes
+    ----------
+    node_map:
+        ``query node -> data vertex`` mapping (all query nodes present).
+    edge_map:
+        ``query edge index -> data edge id`` for every query edge whose
+        witness was explicitly bound (always all tree edges and the start
+        edge; non-tree witnesses when witness enumeration is enabled).
+    start_edge:
+        The query edge index whose work unit produced this embedding.
+    positive:
+        True for embeddings created by insertions, False for embeddings
+        destroyed by deletions.
+    """
+
+    node_map: tuple[tuple[int, int], ...]
+    edge_map: tuple[tuple[int, int], ...]
+    start_edge: int
+    positive: bool = True
+
+    @staticmethod
+    def build(node_map: dict[int, int], edge_map: dict[int, int], start_edge: int,
+              positive: bool = True) -> "Embedding":
+        """Construct from mutable dicts (sorted for a canonical representation)."""
+        return Embedding(
+            node_map=tuple(sorted(node_map.items())),
+            edge_map=tuple(sorted(edge_map.items())),
+            start_edge=start_edge,
+            positive=positive,
+        )
+
+    def nodes(self) -> dict[int, int]:
+        return dict(self.node_map)
+
+    def edges(self) -> dict[int, int]:
+        return dict(self.edge_map)
+
+    def vertex_of(self, query_node: int) -> int:
+        return dict(self.node_map)[query_node]
+
+    def identity(self) -> tuple:
+        """Canonical identity used for duplicate detection (ignores start edge)."""
+        return (self.node_map, self.edge_map, self.positive)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sign = "+" if self.positive else "-"
+        return f"Embedding({sign}{dict(self.node_map)})"
+
+
+class ResultSet:
+    """A container of embeddings with duplicate detection and summary stats."""
+
+    def __init__(self) -> None:
+        self._embeddings: list[Embedding] = []
+        self._identities: set[tuple] = set()
+        self.duplicates_rejected = 0
+
+    def add(self, embedding: Embedding) -> bool:
+        """Add ``embedding``; return False (and count it) if it is a duplicate."""
+        key = embedding.identity()
+        if key in self._identities:
+            self.duplicates_rejected += 1
+            return False
+        self._identities.add(key)
+        self._embeddings.append(embedding)
+        return True
+
+    def extend(self, embeddings: Iterable[Embedding]) -> int:
+        """Add many embeddings; return how many were new."""
+        return sum(1 for e in embeddings if self.add(e))
+
+    def positives(self) -> list[Embedding]:
+        return [e for e in self._embeddings if e.positive]
+
+    def negatives(self) -> list[Embedding]:
+        return [e for e in self._embeddings if not e.positive]
+
+    def node_mappings(self) -> set[tuple[tuple[int, int], ...]]:
+        """Distinct node mappings (useful when comparing against baselines)."""
+        return {e.node_map for e in self._embeddings}
+
+    def __iter__(self) -> Iterator[Embedding]:
+        return iter(self._embeddings)
+
+    def __len__(self) -> int:
+        return len(self._embeddings)
+
+    def __contains__(self, embedding: Embedding) -> bool:
+        return embedding.identity() in self._identities

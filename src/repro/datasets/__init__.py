@@ -1,0 +1,26 @@
+"""Synthetic workload generators standing in for the paper's datasets.
+
+The paper evaluates on three real traces that are not redistributable
+(CAIDA NetFlow, LSBench RDF streams, LANL host/network events).  Each
+generator below produces a *synthetic* stream with the properties the
+paper's analysis depends on — stream grammar (insert-only / explicit
+deletions / sliding window), label cardinalities, degree distribution,
+and timestamp structure — at a laptop-friendly scale.  See DESIGN.md
+("Faithfulness notes and deliberate substitutions") for the mapping.
+"""
+
+from repro.datasets.netflow import NetFlowConfig, generate_netflow_stream
+from repro.datasets.lsbench import LSBenchConfig, generate_lsbench_stream
+from repro.datasets.lanl import LANLConfig, generate_lanl_stream
+from repro.datasets.queries import build_query_workload, graph_from_events
+
+__all__ = [
+    "NetFlowConfig",
+    "generate_netflow_stream",
+    "LSBenchConfig",
+    "generate_lsbench_stream",
+    "LANLConfig",
+    "generate_lanl_stream",
+    "build_query_workload",
+    "graph_from_events",
+]

@@ -1,0 +1,92 @@
+"""Synthetic NetFlow-like stream (insert-only, power-law, multi-edge).
+
+The paper's NetFlow dataset is an anonymised backbone trace: 18.5M
+(source, destination, protocol) triplets, a single node type, 8 edge
+labels, no deletions, and a heavy-tailed degree distribution (the paper
+attributes enumeration load imbalance to its power-law nature).
+
+The generator uses a preferential-attachment endpoint sampler so a small
+number of hosts concentrate most of the traffic, draws protocols from a
+skewed categorical distribution, and emits repeated (parallel) flows
+between popular host pairs — the multigraph property Mnemonic's DEBI is
+designed around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.streams.events import StreamEvent
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass
+class NetFlowConfig:
+    """Shape of the synthetic flow stream."""
+
+    num_events: int = 20_000
+    num_hosts: int = 2_000
+    num_protocols: int = 8
+    #: preferential-attachment strength; 0 = uniform endpoints, 1 = strongly skewed
+    attachment: float = 0.75
+    #: probability that an event repeats a recently seen host pair (parallel edges)
+    repeat_probability: float = 0.15
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        check_positive(self.num_events, "num_events")
+        check_positive(self.num_hosts, "num_hosts")
+        check_positive(self.num_protocols, "num_protocols")
+        check_probability(self.attachment, "attachment")
+        check_probability(self.repeat_probability, "repeat_probability")
+
+
+def _protocol_weights(num_protocols: int) -> np.ndarray:
+    # Zipf-like protocol popularity (TCP/UDP dominate real traces).
+    weights = 1.0 / np.arange(1, num_protocols + 1)
+    return weights / weights.sum()
+
+
+def generate_netflow_stream(config: NetFlowConfig | None = None) -> list[StreamEvent]:
+    """Generate an insert-only flow event stream.
+
+    Every host has node label 0 (single node type); edge labels are the
+    protocol ids.  Timestamps increase by one per event so the stream can
+    also be replayed through a sliding window if needed.
+    """
+    config = config or NetFlowConfig()
+    rng = make_rng(config.seed)
+    weights = _protocol_weights(config.num_protocols)
+
+    degree = np.ones(config.num_hosts, dtype=np.float64)
+    events: list[StreamEvent] = []
+    recent_pairs: list[tuple[int, int]] = []
+
+    def sample_host() -> int:
+        if rng.random() < config.attachment:
+            p = degree / degree.sum()
+            return int(rng.choice(config.num_hosts, p=p))
+        return int(rng.integers(config.num_hosts))
+
+    for i in range(config.num_events):
+        if recent_pairs and rng.random() < config.repeat_probability:
+            src, dst = recent_pairs[int(rng.integers(len(recent_pairs)))]
+        else:
+            src = sample_host()
+            dst = sample_host()
+            while dst == src:
+                dst = int(rng.integers(config.num_hosts))
+            recent_pairs.append((src, dst))
+            if len(recent_pairs) > 4096:
+                recent_pairs.pop(0)
+        protocol = int(rng.choice(config.num_protocols, p=weights))
+        degree[src] += 1.0
+        degree[dst] += 1.0
+        events.append(
+            StreamEvent.insert(src, dst, label=protocol, timestamp=float(i),
+                               src_label=0, dst_label=0)
+        )
+    return events

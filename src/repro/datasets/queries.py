@@ -1,0 +1,64 @@
+"""Query workload construction over the synthetic datasets.
+
+The paper generates 100 tree queries of sizes 3/6/9/12 and 100 cyclic
+queries of sizes 6/9/12 by extracting connected subgraphs from each data
+graph (TurboFlux's methodology), plus, for LANL, timestamped queries for
+the temporal experiments.  This module glues the dataset generators to
+:class:`repro.query.QueryGenerator`: build the data graph from a stream
+prefix, then sample the workload from it (so every query is guaranteed
+to have at least one embedding somewhere in the stream).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.graph.adjacency import DynamicGraph
+from repro.query.generator import QueryGenerator, QueryWorkload
+from repro.streams.events import EventKind, StreamEvent
+
+
+def graph_from_events(events: Iterable[StreamEvent]) -> DynamicGraph:
+    """Materialise a :class:`DynamicGraph` by applying a stream of events in order."""
+    graph = DynamicGraph()
+    for event in events:
+        if event.kind is EventKind.INSERT:
+            graph.add_edge(event.src, event.dst, event.label, event.timestamp,
+                           src_label=event.src_label, dst_label=event.dst_label)
+        else:
+            graph.delete_edge_instance(event.src, event.dst, event.label)
+    return graph
+
+
+def build_query_workload(
+    events: Sequence[StreamEvent],
+    tree_sizes: tuple[int, ...] = (3, 6, 9, 12),
+    graph_sizes: tuple[int, ...] = (6, 9, 12),
+    queries_per_suite: int = 3,
+    with_timestamps: bool = False,
+    prefix: int | None = None,
+    seed: int = 0,
+) -> QueryWorkload:
+    """Extract the T_k / G_k workload from the graph induced by a stream prefix.
+
+    Parameters
+    ----------
+    events:
+        The full stream; only the first ``prefix`` events (insertions and
+        deletions) are applied before sampling.
+    prefix:
+        Number of events used to build the sampling graph; defaults to the
+        whole stream.
+    with_timestamps:
+        Attach ``time_rank`` values to the query edges (needed by the
+        time-constrained isomorphism experiments).
+    """
+    use = events if prefix is None else events[:prefix]
+    graph = graph_from_events(use)
+    generator = QueryGenerator(graph, seed=seed)
+    return generator.workload(
+        tree_sizes=tree_sizes,
+        graph_sizes=graph_sizes,
+        queries_per_suite=queries_per_suite,
+        with_timestamps=with_timestamps,
+    )

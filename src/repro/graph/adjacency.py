@@ -1,0 +1,303 @@
+"""Dynamic adjacency-list multigraph with edge-id recycling.
+
+This is the data-graph storage layer described in Section II-A and the
+"Memory recycling" paragraph of Section IV-A of the paper:
+
+* each vertex keeps separate lists of its outgoing and incoming edge ids
+  so that candidate edges for a query-tree step can be fetched with one
+  sequential scan of a single list;
+* each edge *instance* has a unique ``edge_id`` used to address its
+  attributes and its DEBI row;
+* when an edge is deleted it is located in the adjacency list, swapped
+  with the last entry and popped (O(degree) locate, O(1) removal), and
+  its id is pushed on the free list of its source vertex;
+* when a new edge is later inserted at that vertex the id is reused,
+  which keeps the number of edge placeholders — and therefore the DEBI
+  size — from growing monotonically (Figure 17).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Iterable, Iterator
+
+from repro.graph.edge import EdgeRecord, EdgeTriple
+from repro.graph.stats import PlaceholderStats
+from repro.utils.validation import GraphError
+
+
+class DynamicGraph:
+    """A directed labelled multigraph supporting streaming updates.
+
+    Parameters
+    ----------
+    recycle_edge_ids:
+        When True (default, the paper's design) edge ids of deleted edges
+        are reused for later insertions at the same source vertex.  When
+        False every insertion allocates a fresh id; this mode exists to
+        reproduce the "without reclaiming" curve of Figure 17.
+    track_label_degrees:
+        Maintain per-vertex, per-label in/out degree counters.  These are
+        used by the ``f2``/``f3`` label-degree filters; maintaining them
+        costs O(1) per update.
+    """
+
+    def __init__(self, recycle_edge_ids: bool = True, track_label_degrees: bool = True) -> None:
+        self.recycle_edge_ids = recycle_edge_ids
+        self.track_label_degrees = track_label_degrees
+
+        # Edge columns indexed by edge_id.
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._label: list[int] = []
+        self._timestamp: list[float] = []
+        self._alive: list[bool] = []
+
+        # Vertex state.
+        self._vertex_labels: dict[int, int] = {}
+        self._out: dict[int, list[int]] = defaultdict(list)
+        self._in: dict[int, list[int]] = defaultdict(list)
+        self._out_label_deg: dict[int, Counter] = defaultdict(Counter)
+        self._in_label_deg: dict[int, Counter] = defaultdict(Counter)
+
+        # Edge-id recycling: free ids keyed by the source vertex that owned them.
+        self._free_ids: dict[int, list[int]] = defaultdict(list)
+
+        # Resolution of (src, dst, label) triples to live edge ids (multi-edge aware).
+        self._triple_index: dict[tuple[int, int, int], list[int]] = defaultdict(list)
+
+        self._num_live_edges = 0
+        self.stats = PlaceholderStats()
+
+    # ------------------------------------------------------------------ vertices
+    def add_vertex(self, vertex: int, label: int = 0) -> None:
+        """Register ``vertex`` with ``label``; later calls may not change the label."""
+        existing = self._vertex_labels.get(vertex)
+        if existing is None:
+            self._vertex_labels[vertex] = label
+        elif existing != label and label != 0:
+            raise GraphError(
+                f"vertex {vertex} already has label {existing}, cannot relabel to {label}"
+            )
+
+    def has_vertex(self, vertex: int) -> bool:
+        return vertex in self._vertex_labels
+
+    def vertex_label(self, vertex: int) -> int:
+        """Return the label of ``vertex`` (0 for unlabelled/unknown vertices)."""
+        return self._vertex_labels.get(vertex, 0)
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._vertex_labels)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertex_labels)
+
+    # ------------------------------------------------------------------ edges
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        label: int = 0,
+        timestamp: float = 0.0,
+        src_label: int | None = None,
+        dst_label: int | None = None,
+    ) -> int:
+        """Insert a new edge instance and return its ``edge_id``.
+
+        Parallel edges (same ``src``/``dst``/``label``) are distinct
+        instances with distinct ids — this is the multigraph property the
+        paper relies on for context-aware matching.
+        """
+        self.add_vertex(src, src_label if src_label is not None else self.vertex_label(src))
+        self.add_vertex(dst, dst_label if dst_label is not None else self.vertex_label(dst))
+
+        edge_id = self._allocate_id(src)
+        if edge_id == len(self._src):
+            self._src.append(src)
+            self._dst.append(dst)
+            self._label.append(label)
+            self._timestamp.append(timestamp)
+            self._alive.append(True)
+        else:
+            self._src[edge_id] = src
+            self._dst[edge_id] = dst
+            self._label[edge_id] = label
+            self._timestamp[edge_id] = timestamp
+            self._alive[edge_id] = True
+
+        self._out[src].append(edge_id)
+        self._in[dst].append(edge_id)
+        self._triple_index[(src, dst, label)].append(edge_id)
+        if self.track_label_degrees:
+            self._out_label_deg[src][label] += 1
+            self._in_label_deg[dst][label] += 1
+        self._num_live_edges += 1
+        self.stats.record_insert(placeholders=len(self._src), live=self._num_live_edges)
+        return edge_id
+
+    def _allocate_id(self, src: int) -> int:
+        if self.recycle_edge_ids:
+            free = self._free_ids.get(src)
+            if free:
+                self.stats.record_recycle()
+                return free.pop()
+        return len(self._src)
+
+    def delete_edge(self, edge_id: int) -> EdgeRecord:
+        """Delete the edge instance ``edge_id`` and return its last record."""
+        record = self.edge(edge_id)
+        src, dst, label = record.src, record.dst, record.label
+
+        self._remove_from_list(self._out[src], edge_id)
+        self._remove_from_list(self._in[dst], edge_id)
+        self._remove_from_list(self._triple_index[(src, dst, label)], edge_id)
+        if not self._triple_index[(src, dst, label)]:
+            del self._triple_index[(src, dst, label)]
+        if self.track_label_degrees:
+            self._out_label_deg[src][label] -= 1
+            self._in_label_deg[dst][label] -= 1
+
+        self._alive[edge_id] = False
+        self._num_live_edges -= 1
+        if self.recycle_edge_ids:
+            self._free_ids[src].append(edge_id)
+        self.stats.record_delete(placeholders=len(self._src), live=self._num_live_edges)
+        return record
+
+    def delete_edge_instance(self, src: int, dst: int, label: int = 0) -> EdgeRecord:
+        """Delete the most recently inserted live edge matching the triple.
+
+        Stream deletions are expressed as triples (the paper negates the
+        endpoints on the wire); this resolves the triple to a concrete
+        edge instance.
+        """
+        ids = self._triple_index.get((src, dst, label))
+        if not ids:
+            raise GraphError(f"no live edge ({src}, {dst}, {label}) to delete")
+        return self.delete_edge(ids[-1])
+
+    @staticmethod
+    def _remove_from_list(lst: list[int], edge_id: int) -> None:
+        # Swap-with-last removal, as described in the paper's memory
+        # recycling paragraph: O(position) to find, O(1) to remove.
+        try:
+            idx = lst.index(edge_id)
+        except ValueError as exc:
+            raise GraphError(f"edge {edge_id} not present in adjacency list") from exc
+        lst[idx] = lst[-1]
+        lst.pop()
+
+    # ------------------------------------------------------------------ accessors
+    def edge(self, edge_id: int) -> EdgeRecord:
+        """Return the :class:`EdgeRecord` for a *live* ``edge_id``."""
+        if not self.is_alive(edge_id):
+            raise GraphError(f"edge id {edge_id} is not a live edge")
+        return EdgeRecord(
+            edge_id,
+            self._src[edge_id],
+            self._dst[edge_id],
+            self._label[edge_id],
+            self._timestamp[edge_id],
+        )
+
+    def is_alive(self, edge_id: int) -> bool:
+        return 0 <= edge_id < len(self._src) and self._alive[edge_id]
+
+    def out_edges(self, vertex: int) -> list[int]:
+        """Edge ids of live edges leaving ``vertex`` (do not mutate)."""
+        return self._out.get(vertex, [])
+
+    def in_edges(self, vertex: int) -> list[int]:
+        """Edge ids of live edges entering ``vertex`` (do not mutate)."""
+        return self._in.get(vertex, [])
+
+    def incident_edges(self, vertex: int) -> Iterator[int]:
+        """All live edge ids touching ``vertex`` (out first, then in)."""
+        yield from self.out_edges(vertex)
+        yield from self.in_edges(vertex)
+
+    def out_degree(self, vertex: int) -> int:
+        return len(self._out.get(vertex, ()))
+
+    def in_degree(self, vertex: int) -> int:
+        return len(self._in.get(vertex, ()))
+
+    def degree(self, vertex: int) -> int:
+        return self.out_degree(vertex) + self.in_degree(vertex)
+
+    def out_label_degree(self, vertex: int, label: int) -> int:
+        """Number of live out-edges of ``vertex`` carrying ``label``."""
+        if not self.track_label_degrees:
+            return sum(1 for e in self.out_edges(vertex) if self._label[e] == label)
+        return self._out_label_deg.get(vertex, Counter()).get(label, 0)
+
+    def in_label_degree(self, vertex: int, label: int) -> int:
+        """Number of live in-edges of ``vertex`` carrying ``label``."""
+        if not self.track_label_degrees:
+            return sum(1 for e in self.in_edges(vertex) if self._label[e] == label)
+        return self._in_label_deg.get(vertex, Counter()).get(label, 0)
+
+    def edges(self) -> Iterator[EdgeRecord]:
+        """Iterate over all live edge records."""
+        for edge_id in range(len(self._src)):
+            if self._alive[edge_id]:
+                yield EdgeRecord(
+                    edge_id,
+                    self._src[edge_id],
+                    self._dst[edge_id],
+                    self._label[edge_id],
+                    self._timestamp[edge_id],
+                )
+
+    def find_edges(self, src: int, dst: int, label: int | None = None) -> list[int]:
+        """Return live edge ids from ``src`` to ``dst`` (optionally with ``label``)."""
+        if label is not None:
+            return list(self._triple_index.get((src, dst, label), ()))
+        return [e for e in self._out.get(src, ()) if self._dst[e] == dst]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of currently live edge instances."""
+        return self._num_live_edges
+
+    @property
+    def num_placeholders(self) -> int:
+        """Number of edge slots ever allocated (live + dead, i.e. DEBI rows)."""
+        return len(self._src)
+
+    # ------------------------------------------------------------------ bulk helpers
+    def apply_insertions(self, triples: Iterable[tuple]) -> list[int]:
+        """Insert many edges; each item is (src, dst, label[, timestamp[, src_label, dst_label]])."""
+        ids = []
+        for item in triples:
+            ids.append(self.add_edge(*item))
+        return ids
+
+    def copy(self) -> "DynamicGraph":
+        """Deep copy of the live graph (dead placeholders are preserved)."""
+        clone = DynamicGraph(
+            recycle_edge_ids=self.recycle_edge_ids,
+            track_label_degrees=self.track_label_degrees,
+        )
+        clone._src = list(self._src)
+        clone._dst = list(self._dst)
+        clone._label = list(self._label)
+        clone._timestamp = list(self._timestamp)
+        clone._alive = list(self._alive)
+        clone._vertex_labels = dict(self._vertex_labels)
+        clone._out = defaultdict(list, {k: list(v) for k, v in self._out.items()})
+        clone._in = defaultdict(list, {k: list(v) for k, v in self._in.items()})
+        clone._out_label_deg = defaultdict(Counter, {k: Counter(v) for k, v in self._out_label_deg.items()})
+        clone._in_label_deg = defaultdict(Counter, {k: Counter(v) for k, v in self._in_label_deg.items()})
+        clone._free_ids = defaultdict(list, {k: list(v) for k, v in self._free_ids.items()})
+        clone._triple_index = defaultdict(list, {k: list(v) for k, v in self._triple_index.items()})
+        clone._num_live_edges = self._num_live_edges
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynamicGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"placeholders={self.num_placeholders})"
+        )

@@ -1,0 +1,66 @@
+"""Vertex / edge attribute storage addressed by id.
+
+The paper stores vertex and edge attributes in a side structure indexed
+by vertex/edge id, separate from the topology (Section II-A).  The
+attribute store is what a user-defined ``edge_matcher`` consults when a
+match definition involves more than the built-in labels (e.g. ports,
+byte counts, user roles).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class AttributeStore:
+    """A collection of named attribute columns addressed by integer id.
+
+    Columns are created lazily on first write.  Missing values read as
+    ``default`` (``None`` unless overridden per column).
+    """
+
+    def __init__(self) -> None:
+        self._columns: dict[str, dict[int, Any]] = {}
+        self._defaults: dict[str, Any] = {}
+
+    def define(self, column: str, default: Any = None) -> None:
+        """Declare ``column`` with a default value for missing entries."""
+        self._columns.setdefault(column, {})
+        self._defaults[column] = default
+
+    def set(self, column: str, item_id: int, value: Any) -> None:
+        """Set ``column[item_id] = value`` (creates the column if needed)."""
+        self._columns.setdefault(column, {})[item_id] = value
+
+    def get(self, column: str, item_id: int, default: Any = None) -> Any:
+        """Return ``column[item_id]``, the column default, or ``default``."""
+        col = self._columns.get(column)
+        if col is None:
+            return self._defaults.get(column, default)
+        if item_id in col:
+            return col[item_id]
+        return self._defaults.get(column, default)
+
+    def delete(self, item_id: int) -> None:
+        """Drop every attribute of ``item_id`` (used when an id is recycled)."""
+        for col in self._columns.values():
+            col.pop(item_id, None)
+
+    def columns(self) -> Iterator[str]:
+        return iter(self._columns)
+
+    def row(self, item_id: int) -> dict[str, Any]:
+        """Return all attributes of ``item_id`` as a dict."""
+        out: dict[str, Any] = {}
+        for name, col in self._columns.items():
+            if item_id in col:
+                out[name] = col[item_id]
+            elif name in self._defaults:
+                out[name] = self._defaults[name]
+        return out
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._columns
+
+    def __len__(self) -> int:
+        return len(self._columns)

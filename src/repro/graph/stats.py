@@ -1,0 +1,54 @@
+"""Counters for edge placeholders, recycling and search-space size.
+
+Figure 17 of the paper compares, over ~90 sliding-window snapshots, the
+number of *edge placeholders* (allocated edge/DEBI slots) required with
+and without memory reclaiming, against the number of live edges (the
+"search space").  :class:`PlaceholderStats` collects exactly those
+quantities from the graph store and the engine samples them per snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PlaceholderStats:
+    """Running counters maintained by :class:`repro.graph.DynamicGraph`."""
+
+    inserts: int = 0
+    deletes: int = 0
+    recycled: int = 0
+    peak_placeholders: int = 0
+    peak_live: int = 0
+    #: optional per-snapshot samples appended by the engine
+    snapshots: list[dict] = field(default_factory=list)
+
+    def record_insert(self, placeholders: int, live: int) -> None:
+        self.inserts += 1
+        self.peak_placeholders = max(self.peak_placeholders, placeholders)
+        self.peak_live = max(self.peak_live, live)
+
+    def record_delete(self, placeholders: int, live: int) -> None:
+        self.deletes += 1
+        self.peak_placeholders = max(self.peak_placeholders, placeholders)
+
+    def record_recycle(self) -> None:
+        self.recycled += 1
+
+    def sample_snapshot(self, snapshot_number: int, placeholders: int, live: int) -> None:
+        """Append one Figure-17 style sample."""
+        self.snapshots.append(
+            {
+                "snapshot": snapshot_number,
+                "placeholders": placeholders,
+                "live_edges": live,
+            }
+        )
+
+    @property
+    def recycle_rate(self) -> float:
+        """Fraction of insertions that reused a previously deleted slot."""
+        if self.inserts == 0:
+            return 0.0
+        return self.recycled / self.inserts

@@ -1,0 +1,26 @@
+"""Subgraph matching variants programmed on top of the Mnemonic API.
+
+Each variant is what an end user of the system would write: a
+:class:`~repro.core.api.MatchDefinition` subclass (a few lines each,
+mirroring the paper's Figure 4 examples), or — for the simulation
+family, whose output is a binary relation rather than embeddings —
+functions that consume the engine's DEBI directly.
+"""
+
+from repro.matchers.isomorphism import IsomorphismMatcher
+from repro.matchers.homomorphism import HomomorphismMatcher
+from repro.matchers.temporal import TemporalIsomorphismMatcher
+from repro.matchers.simulation import (
+    dual_simulation,
+    dual_simulation_from_debi,
+    strong_simulation,
+)
+
+__all__ = [
+    "IsomorphismMatcher",
+    "HomomorphismMatcher",
+    "TemporalIsomorphismMatcher",
+    "dual_simulation",
+    "dual_simulation_from_debi",
+    "strong_simulation",
+]

@@ -1,0 +1,20 @@
+"""Subgraph homomorphism.
+
+The paper obtains homomorphism from isomorphism by deleting the
+injectivity check (line 23 of Figure 4): distinct query nodes may map to
+the same data vertex and a single data edge may witness several query
+edges.  Everything else — DEBI content, filtering, enumeration order,
+masking — is unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import MatchDefinition
+
+
+class HomomorphismMatcher(MatchDefinition):
+    """Non-injective, label-preserving subgraph matching."""
+
+    name = "homomorphism"
+    injective = False
+    bind_witnesses = False

@@ -1,0 +1,21 @@
+"""Subgraph isomorphism (the paper's Figure 4 example).
+
+A data subgraph matches the query iff there is an *injective* mapping of
+query nodes to data vertices preserving node labels, edge existence and
+edge labels.  This is the default matching semantics of the engine, so
+the matcher only pins down the name and the injective flag — exactly the
+"a user implements two small functions" story of the paper, where both
+functions happen to be the library defaults.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import MatchDefinition
+
+
+class IsomorphismMatcher(MatchDefinition):
+    """Injective, label-preserving subgraph matching."""
+
+    name = "isomorphism"
+    injective = True
+    bind_witnesses = False

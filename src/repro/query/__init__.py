@@ -1,0 +1,32 @@
+"""Query model: query graphs, query trees, matching orders and masks.
+
+A *query graph* is the small pattern to search for.  Mnemonic turns it
+into a *query tree* (a BFS spanning tree rooted at the most selective
+node); the tree edges drive DEBI columns and candidate extension while
+the remaining (*non-tree*) edges are verified during enumeration.
+
+For every possible starting query edge the engine needs a dedicated
+*matching order* (Section VI, "Matching order computation") and a
+*duplicate-elimination mask* (Section VI, "Duplicates Removal"); both
+are computed once per query by this package and cached.
+"""
+
+from repro.query.query_graph import QueryEdge, QueryGraph, WILDCARD_LABEL
+from repro.query.query_tree import QueryTree, TreeEdge
+from repro.query.matching_order import ExtensionStep, MatchingOrder, build_matching_orders
+from repro.query.masking import MaskTable
+from repro.query.generator import QueryGenerator, QueryWorkload
+
+__all__ = [
+    "QueryGraph",
+    "QueryEdge",
+    "WILDCARD_LABEL",
+    "QueryTree",
+    "TreeEdge",
+    "MatchingOrder",
+    "ExtensionStep",
+    "build_matching_orders",
+    "MaskTable",
+    "QueryGenerator",
+    "QueryWorkload",
+]

@@ -1,0 +1,200 @@
+"""Query graph representation.
+
+Query graphs are small directed labelled graphs (at most a few dozen
+nodes in all of the paper's workloads).  Node and edge labels may be the
+wildcard :data:`WILDCARD_LABEL`, which matches any data label — the
+paper's example query has wildcard edge labels.  Query edges may carry a
+timestamp *rank* used by the time-constrained isomorphism variant: an
+embedding must map edges so that their data timestamps respect the
+ranks' total/partial order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.utils.validation import QueryError
+
+#: Label value that matches any node/edge label.
+WILDCARD_LABEL = -1
+
+
+@dataclass(frozen=True)
+class QueryEdge:
+    """A directed query edge.  ``index`` is its canonical position."""
+
+    index: int
+    src: int
+    dst: int
+    label: int = WILDCARD_LABEL
+    #: optional temporal rank for time-constrained matching (lower = earlier)
+    time_rank: int | None = None
+
+    def endpoints(self) -> tuple[int, int]:
+        return (self.src, self.dst)
+
+    def other(self, node: int) -> int:
+        """Return the endpoint that is not ``node``."""
+        if node == self.src:
+            return self.dst
+        if node == self.dst:
+            return self.src
+        raise QueryError(f"node {node} is not an endpoint of query edge {self.index}")
+
+    def touches(self, node: int) -> bool:
+        return node == self.src or node == self.dst
+
+
+class QueryGraph:
+    """A small directed, labelled pattern graph.
+
+    Nodes are integers; use :meth:`add_node` to assign labels and
+    :meth:`add_edge` to add (possibly parallel) edges.  The graph must be
+    weakly connected and non-empty before it is handed to the engine
+    (checked by :meth:`validate`).
+    """
+
+    def __init__(self) -> None:
+        self._node_labels: dict[int, int] = {}
+        self._edges: list[QueryEdge] = []
+        self._incident: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------ construction
+    def add_node(self, node: int, label: int = WILDCARD_LABEL) -> None:
+        """Add ``node`` with ``label`` (re-adding with the same label is a no-op)."""
+        existing = self._node_labels.get(node)
+        if existing is not None and existing != label:
+            raise QueryError(f"query node {node} already has label {existing}")
+        self._node_labels[node] = label
+        self._incident.setdefault(node, [])
+
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        label: int = WILDCARD_LABEL,
+        time_rank: int | None = None,
+    ) -> QueryEdge:
+        """Add a directed query edge; endpoints are auto-added with wildcard labels."""
+        if src not in self._node_labels:
+            self.add_node(src)
+        if dst not in self._node_labels:
+            self.add_node(dst)
+        edge = QueryEdge(len(self._edges), src, dst, label, time_rank)
+        self._edges.append(edge)
+        self._incident[src].append(edge.index)
+        if dst != src:  # self-loops appear once in the incidence list
+            self._incident[dst].append(edge.index)
+        return edge
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple],
+        node_labels: dict[int, int] | None = None,
+    ) -> "QueryGraph":
+        """Build a query graph from (src, dst[, label[, time_rank]]) tuples."""
+        graph = cls()
+        for node, label in (node_labels or {}).items():
+            graph.add_node(node, label)
+        for item in edges:
+            graph.add_edge(*item)
+        return graph
+
+    # ------------------------------------------------------------------ accessors
+    def node_label(self, node: int) -> int:
+        try:
+            return self._node_labels[node]
+        except KeyError as exc:
+            raise QueryError(f"unknown query node {node}") from exc
+
+    def nodes(self) -> Iterator[int]:
+        return iter(self._node_labels)
+
+    def edges(self) -> list[QueryEdge]:
+        return list(self._edges)
+
+    def edge(self, index: int) -> QueryEdge:
+        try:
+            return self._edges[index]
+        except IndexError as exc:
+            raise QueryError(f"unknown query edge index {index}") from exc
+
+    def incident_edges(self, node: int) -> list[QueryEdge]:
+        """All query edges touching ``node``."""
+        return [self._edges[i] for i in self._incident.get(node, ())]
+
+    def edges_between(self, a: int, b: int) -> list[QueryEdge]:
+        """All query edges with endpoint set {a, b} (either direction)."""
+        return [
+            e for e in self.incident_edges(a)
+            if (e.src == a and e.dst == b) or (e.src == b and e.dst == a)
+        ]
+
+    def degree(self, node: int) -> int:
+        return len(self._incident.get(node, ()))
+
+    def neighbors(self, node: int) -> set[int]:
+        """Set of nodes adjacent to ``node`` ignoring direction."""
+        return {e.other(node) for e in self.incident_edges(node)}
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._node_labels)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def label_frequencies(self) -> dict[int, int]:
+        """Count of query nodes per label (used by root-selection heuristics)."""
+        freq: dict[int, int] = {}
+        for label in self._node_labels.values():
+            freq[label] = freq.get(label, 0) + 1
+        return freq
+
+    def out_label_requirement(self, node: int) -> dict[int, int]:
+        """For ``f2``: number of outgoing query edges of ``node`` per edge label."""
+        req: dict[int, int] = {}
+        for e in self.incident_edges(node):
+            if e.src == node:
+                req[e.label] = req.get(e.label, 0) + 1
+        return req
+
+    def in_label_requirement(self, node: int) -> dict[int, int]:
+        """For ``f2``: number of incoming query edges of ``node`` per edge label."""
+        req: dict[int, int] = {}
+        for e in self.incident_edges(node):
+            if e.dst == node:
+                req[e.label] = req.get(e.label, 0) + 1
+        return req
+
+    # ------------------------------------------------------------------ validation
+    def validate(self) -> None:
+        """Raise :class:`QueryError` unless the query is non-empty and weakly connected."""
+        if self.num_nodes == 0 or self.num_edges == 0:
+            raise QueryError("query graph must contain at least one edge")
+        seen: set[int] = set()
+        stack = [next(iter(self._node_labels))]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for e in self.incident_edges(node):
+                stack.append(e.other(node))
+        if len(seen) != self.num_nodes:
+            missing = set(self._node_labels) - seen
+            raise QueryError(f"query graph is disconnected; unreachable nodes: {sorted(missing)}")
+
+    def is_tree(self) -> bool:
+        """True when the query (ignoring direction) is acyclic and connected."""
+        try:
+            self.validate()
+        except QueryError:
+            return False
+        return self.num_edges == self.num_nodes - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryGraph(|V|={self.num_nodes}, |E|={self.num_edges})"

@@ -1,0 +1,159 @@
+"""Query tree: root selection and BFS spanning tree of the query graph.
+
+The query tree (Figure 1(f) of the paper) is a BFS spanning tree of the
+query graph rooted at the most selective query node.  Parent/child
+relationships ignore edge direction: ``u0`` is the parent of ``u2`` even
+if the query edge points from ``u2`` to ``u0``.  Every non-root node
+owns one DEBI column (its *tree edge* from its parent); the remaining
+query edges are *non-tree* edges verified during enumeration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.query.query_graph import QueryEdge, QueryGraph, WILDCARD_LABEL
+from repro.utils.validation import QueryError
+
+
+@dataclass(frozen=True)
+class TreeEdge:
+    """A query-tree edge: the query edge connecting ``child`` to its parent."""
+
+    query_edge: QueryEdge
+    parent: int
+    child: int
+    #: DEBI column owned by ``child`` (0-based over non-root nodes, BFS order)
+    column: int
+
+    @property
+    def parent_is_src(self) -> bool:
+        """True when the underlying query edge is directed parent -> child."""
+        return self.query_edge.src == self.parent
+
+
+def select_root(
+    query: QueryGraph,
+    data_label_frequencies: dict[int, int] | None = None,
+) -> int:
+    """Pick the most selective query node to use as the query-tree root.
+
+    The default heuristic mirrors common practice (and the paper's
+    "most selective node" choice): prefer nodes whose label is rare in
+    the data graph (when label statistics are available), break ties by
+    higher query degree, then by node id for determinism.
+    """
+    def selectivity(node: int) -> tuple:
+        label = query.node_label(node)
+        if data_label_frequencies and label != WILDCARD_LABEL:
+            rarity = data_label_frequencies.get(label, 0)
+        elif label == WILDCARD_LABEL:
+            rarity = float("inf")
+        else:
+            rarity = 0
+        return (rarity, -query.degree(node), node)
+
+    return min(query.nodes(), key=selectivity)
+
+
+class QueryTree:
+    """BFS spanning tree of a query graph plus derived lookup tables."""
+
+    def __init__(
+        self,
+        query: QueryGraph,
+        root: int | None = None,
+        data_label_frequencies: dict[int, int] | None = None,
+    ) -> None:
+        query.validate()
+        self.query = query
+        self.root = root if root is not None else select_root(query, data_label_frequencies)
+        if self.root not in set(query.nodes()):
+            raise QueryError(f"root {self.root} is not a query node")
+
+        self.parent: dict[int, int] = {}
+        self.children: dict[int, list[int]] = {u: [] for u in query.nodes()}
+        self.depth: dict[int, int] = {self.root: 0}
+        #: tree edges in BFS discovery order
+        self.tree_edges: list[TreeEdge] = []
+        #: query-edge index -> TreeEdge for tree edges
+        self.tree_edge_by_query_edge: dict[int, TreeEdge] = {}
+        #: child node -> TreeEdge
+        self.tree_edge_by_child: dict[int, TreeEdge] = {}
+        #: query edges not in the tree
+        self.non_tree_edges: list[QueryEdge] = []
+        #: BFS order of query nodes starting at the root
+        self.bfs_order: list[int] = [self.root]
+
+        self._build()
+
+    def _build(self) -> None:
+        query = self.query
+        visited = {self.root}
+        used_edges: set[int] = set()
+        queue: deque[int] = deque([self.root])
+        column = 0
+        while queue:
+            node = queue.popleft()
+            for edge in query.incident_edges(node):
+                other = edge.other(node)
+                if other in visited or edge.index in used_edges:
+                    continue
+                # Parallel query edges to an already-visited node stay non-tree.
+                visited.add(other)
+                used_edges.add(edge.index)
+                tree_edge = TreeEdge(edge, parent=node, child=other, column=column)
+                column += 1
+                self.tree_edges.append(tree_edge)
+                self.tree_edge_by_query_edge[edge.index] = tree_edge
+                self.tree_edge_by_child[other] = tree_edge
+                self.parent[other] = node
+                self.children[node].append(other)
+                self.depth[other] = self.depth[node] + 1
+                self.bfs_order.append(other)
+                queue.append(other)
+        self.non_tree_edges = [e for e in query.edges() if e.index not in used_edges]
+
+    # ------------------------------------------------------------------ lookups
+    @property
+    def num_columns(self) -> int:
+        """Number of DEBI columns (= number of non-root query nodes)."""
+        return len(self.tree_edges)
+
+    def column_of(self, child: int) -> int:
+        """DEBI column owned by non-root query node ``child``."""
+        try:
+            return self.tree_edge_by_child[child].column
+        except KeyError as exc:
+            raise QueryError(f"node {child} has no query-tree column (is it the root?)") from exc
+
+    def is_tree_edge(self, query_edge_index: int) -> bool:
+        return query_edge_index in self.tree_edge_by_query_edge
+
+    def tree_edge_for(self, query_edge_index: int) -> TreeEdge:
+        try:
+            return self.tree_edge_by_query_edge[query_edge_index]
+        except KeyError as exc:
+            raise QueryError(f"query edge {query_edge_index} is not a tree edge") from exc
+
+    def path_to_root(self, node: int) -> list[int]:
+        """Nodes from ``node`` up to (and including) the root."""
+        path = [node]
+        while path[-1] != self.root:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def leaves(self) -> list[int]:
+        """Query nodes with no children in the tree."""
+        return [u for u, kids in self.children.items() if not kids]
+
+    def diameter_bound(self) -> int:
+        """Tree height (bound on how far update effects propagate)."""
+        return max(self.depth.values()) if self.depth else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryTree(root={self.root}, tree_edges={len(self.tree_edges)}, "
+            f"non_tree_edges={len(self.non_tree_edges)})"
+        )

@@ -1,0 +1,37 @@
+"""Stream ingestion and snapshot generation.
+
+Mnemonic consumes an edge *stream* and turns it into a sequence of
+*snapshots*: each snapshot is the last stable state of the data graph
+plus the batch of insertions and deletions made since then
+(Algorithm 1, the ``getSnapshot`` loop).  The user controls the
+snapshotting behaviour through a :class:`repro.streams.StreamConfig`
+(stream type, batch size, window size, stride).
+
+Three stream types are supported, matching the paper's evaluation:
+
+* ``insert_only`` — e.g. the NetFlow backbone trace (Figure 6);
+* ``insert_delete`` — e.g. LSBench with explicit deletions encoded by
+  negating endpoints (Figure 9);
+* ``sliding_window`` — e.g. LANL with a 24-hour window and a fixed
+  stride; edges are dropped from the tail of the window automatically
+  (Figures 10, 15, 17 and Table III).
+"""
+
+from repro.streams.config import StreamConfig, StreamType
+from repro.streams.events import StreamEvent, EventKind, decode_lsbench_triple, encode_lsbench_triple
+from repro.streams.generator import Snapshot, SnapshotGenerator
+from repro.streams.sources import IterableSource, ListSource, StreamSource
+
+__all__ = [
+    "StreamConfig",
+    "StreamType",
+    "StreamEvent",
+    "EventKind",
+    "Snapshot",
+    "SnapshotGenerator",
+    "StreamSource",
+    "ListSource",
+    "IterableSource",
+    "decode_lsbench_triple",
+    "encode_lsbench_triple",
+]

@@ -1,0 +1,82 @@
+"""Stream event model and wire encodings.
+
+Every element of an input stream is a :class:`StreamEvent`: an edge
+insertion or deletion carrying the endpoint ids, endpoint labels, the
+edge label and an event timestamp.
+
+The LSBench dataset used in the paper encodes deletions by negating both
+endpoints of a previously inserted triple — ``(-1, -3, l)`` deletes
+``(1, 3, l)``.  :func:`decode_lsbench_triple` / :func:`encode_lsbench_triple`
+implement that convention so synthetic LSBench streams round-trip through
+the same wire format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class EventKind(IntEnum):
+    """Whether a stream event inserts or deletes an edge instance."""
+
+    INSERT = 0
+    DELETE = 1
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One edge-level event on the input stream."""
+
+    kind: EventKind
+    src: int
+    dst: int
+    label: int = 0
+    timestamp: float = 0.0
+    src_label: int = 0
+    dst_label: int = 0
+
+    @property
+    def is_insert(self) -> bool:
+        return self.kind is EventKind.INSERT
+
+    @property
+    def is_delete(self) -> bool:
+        return self.kind is EventKind.DELETE
+
+    def as_triple(self) -> tuple[int, int, int]:
+        return (self.src, self.dst, self.label)
+
+    @staticmethod
+    def insert(src: int, dst: int, label: int = 0, timestamp: float = 0.0,
+               src_label: int = 0, dst_label: int = 0) -> "StreamEvent":
+        """Convenience constructor for an insertion event."""
+        return StreamEvent(EventKind.INSERT, src, dst, label, timestamp, src_label, dst_label)
+
+    @staticmethod
+    def delete(src: int, dst: int, label: int = 0, timestamp: float = 0.0,
+               src_label: int = 0, dst_label: int = 0) -> "StreamEvent":
+        """Convenience constructor for a deletion event."""
+        return StreamEvent(EventKind.DELETE, src, dst, label, timestamp, src_label, dst_label)
+
+
+def encode_lsbench_triple(event: StreamEvent) -> tuple[int, int, int]:
+    """Encode an event using the LSBench convention (negated endpoints = delete).
+
+    Vertex ids are shifted by one on the wire so that vertex 0 remains
+    representable (``-0`` would be ambiguous).
+    """
+    src, dst = event.src + 1, event.dst + 1
+    if event.is_delete:
+        return (-src, -dst, event.label)
+    return (src, dst, event.label)
+
+
+def decode_lsbench_triple(triple: tuple[int, int, int], timestamp: float = 0.0) -> StreamEvent:
+    """Decode a wire triple produced by :func:`encode_lsbench_triple`."""
+    src, dst, label = triple
+    if (src < 0) != (dst < 0):
+        raise ValueError(f"malformed LSBench triple {triple!r}: endpoint signs disagree")
+    if src < 0:
+        return StreamEvent.delete(-src - 1, -dst - 1, label, timestamp)
+    return StreamEvent.insert(src - 1, dst - 1, label, timestamp)

@@ -1,0 +1,184 @@
+"""Snapshot generation from an event stream.
+
+The snapshot generator is the first of the three Mnemonic components
+(Figure 2).  It groups the raw event stream into *snapshots*: each
+snapshot carries the batch of insertions and deletions to be applied on
+top of the previous graph state.
+
+Three behaviours are implemented, selected by
+:class:`repro.streams.StreamConfig.stream_type`:
+
+* **insert_only** — every ``batch_size`` insertion events become one
+  snapshot; deletion events are rejected.
+* **insert_delete** — events of both kinds are grouped; deletions that
+  cancel an insertion from the *same* batch are elided (the pair is a
+  net no-op and the engine never sees it).
+* **sliding_window** — events must arrive in non-decreasing timestamp
+  order.  The window advances by ``stride`` time units per snapshot; the
+  snapshot contains the events whose timestamps fall inside the new
+  stride plus synthetic deletions for every edge that has slid out of
+  the ``window``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.streams.config import StreamConfig, StreamType
+from repro.streams.events import EventKind, StreamEvent
+from repro.streams.sources import StreamSource
+from repro.utils.validation import ConfigurationError
+
+
+@dataclass
+class Snapshot:
+    """One unit of work handed to the engine's main loop."""
+
+    number: int
+    insertions: list[StreamEvent] = field(default_factory=list)
+    deletions: list[StreamEvent] = field(default_factory=list)
+    #: largest event timestamp included so far (window high edge)
+    watermark: float = 0.0
+
+    @property
+    def insert_batch_size(self) -> int:
+        return len(self.insertions)
+
+    @property
+    def delete_batch_size(self) -> int:
+        return len(self.deletions)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.insertions and not self.deletions
+
+
+class SnapshotGenerator:
+    """Turns a :class:`StreamSource` into an iterator of :class:`Snapshot` objects."""
+
+    def __init__(self, source: StreamSource, config: StreamConfig) -> None:
+        self.source = source
+        self.config = config
+        self._snapshot_counter = 0
+
+    # ------------------------------------------------------------------ public
+    def __iter__(self) -> Iterator[Snapshot]:
+        if self.config.stream_type is StreamType.INSERT_ONLY:
+            yield from self._iter_insert_only()
+        elif self.config.stream_type is StreamType.INSERT_DELETE:
+            yield from self._iter_insert_delete()
+        else:
+            yield from self._iter_sliding_window()
+
+    def snapshots(self) -> list[Snapshot]:
+        """Materialise the whole stream as a list of snapshots."""
+        return list(self)
+
+    # ------------------------------------------------------------------ modes
+    def _next_number(self) -> int:
+        number = self._snapshot_counter
+        self._snapshot_counter += 1
+        return number
+
+    def _iter_insert_only(self) -> Iterator[Snapshot]:
+        batch: list[StreamEvent] = []
+        watermark = 0.0
+        for event in self.source:
+            if event.kind is not EventKind.INSERT:
+                raise ConfigurationError(
+                    "insert_only stream received a deletion event; "
+                    "use stream_type='insert_delete' instead"
+                )
+            batch.append(event)
+            watermark = max(watermark, event.timestamp)
+            if len(batch) >= self.config.batch_size:
+                yield Snapshot(self._next_number(), insertions=batch, watermark=watermark)
+                batch = []
+        if batch:
+            yield Snapshot(self._next_number(), insertions=batch, watermark=watermark)
+
+    def _iter_insert_delete(self) -> Iterator[Snapshot]:
+        inserts: list[StreamEvent] = []
+        deletes: list[StreamEvent] = []
+        watermark = 0.0
+        for event in self.source:
+            watermark = max(watermark, event.timestamp)
+            if event.kind is EventKind.INSERT:
+                inserts.append(event)
+            else:
+                cancelled = self._cancel_matching_insert(inserts, event)
+                if not cancelled:
+                    deletes.append(event)
+            if len(inserts) + len(deletes) >= self.config.batch_size:
+                yield Snapshot(self._next_number(), insertions=inserts, deletions=deletes,
+                               watermark=watermark)
+                inserts, deletes = [], []
+        if inserts or deletes:
+            yield Snapshot(self._next_number(), insertions=inserts, deletions=deletes,
+                           watermark=watermark)
+
+    @staticmethod
+    def _cancel_matching_insert(inserts: list[StreamEvent], delete: StreamEvent) -> bool:
+        """Drop the latest same-triple insertion pending in this batch, if any."""
+        for idx in range(len(inserts) - 1, -1, -1):
+            if inserts[idx].as_triple() == delete.as_triple():
+                inserts.pop(idx)
+                return True
+        return False
+
+    def _iter_sliding_window(self) -> Iterator[Snapshot]:
+        window = float(self.config.window)  # type: ignore[arg-type]
+        stride = float(self.config.stride)  # type: ignore[arg-type]
+        live: deque[StreamEvent] = deque()  # inserted events still inside the window
+        pending: list[StreamEvent] = []
+        stride_end: float | None = None
+        last_ts = float("-inf")
+
+        def build_snapshot(upper: float) -> Snapshot:
+            inserts = list(pending)
+            pending.clear()
+            low = upper - window
+            deletes: list[StreamEvent] = []
+            # Edges inserted in *earlier* snapshots that have now expired.
+            while live and live[0].timestamp <= low:
+                expired = live.popleft()
+                deletes.append(
+                    StreamEvent.delete(
+                        expired.src, expired.dst, expired.label, expired.timestamp,
+                        expired.src_label, expired.dst_label,
+                    )
+                )
+            # Newly inserted edges enter the live window unless they already expired.
+            for event in inserts:
+                if event.timestamp > low:
+                    live.append(event)
+                else:
+                    deletes.append(
+                        StreamEvent.delete(event.src, event.dst, event.label, event.timestamp,
+                                           event.src_label, event.dst_label)
+                    )
+            return Snapshot(self._next_number(), insertions=inserts, deletions=deletes,
+                            watermark=upper)
+
+        for event in self.source:
+            if event.kind is not EventKind.INSERT:
+                raise ConfigurationError(
+                    "sliding_window streams manage deletions implicitly; "
+                    "explicit deletion events are not allowed"
+                )
+            if event.timestamp < last_ts:
+                raise ConfigurationError(
+                    "sliding_window streams require non-decreasing timestamps "
+                    f"(got {event.timestamp} after {last_ts})"
+                )
+            last_ts = event.timestamp
+            if stride_end is None:
+                stride_end = event.timestamp + stride
+            while event.timestamp >= stride_end:
+                yield build_snapshot(stride_end)
+                stride_end += stride
+            pending.append(event)
+        if pending and stride_end is not None:
+            yield build_snapshot(stride_end)

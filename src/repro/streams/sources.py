@@ -1,0 +1,41 @@
+"""Stream sources: adapters that present events to the snapshot generator."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Protocol
+
+from repro.streams.events import StreamEvent
+
+
+class StreamSource(Protocol):
+    """Anything that can be iterated to yield :class:`StreamEvent` objects."""
+
+    def __iter__(self) -> Iterator[StreamEvent]:  # pragma: no cover - protocol
+        ...
+
+
+class ListSource:
+    """A finite, replayable in-memory source (used heavily in tests)."""
+
+    def __init__(self, events: Iterable[StreamEvent]) -> None:
+        self._events = list(events)
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class IterableSource:
+    """Wraps a one-shot iterable (e.g. a generator over a trace file)."""
+
+    def __init__(self, iterable: Iterable[StreamEvent]) -> None:
+        self._iterable = iterable
+        self._consumed = False
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        if self._consumed:
+            raise RuntimeError("IterableSource can only be iterated once")
+        self._consumed = True
+        return iter(self._iterable)

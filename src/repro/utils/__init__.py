@@ -1,0 +1,37 @@
+"""Shared low-level utilities used across the Mnemonic reproduction.
+
+The helpers in this package are deliberately small and dependency-free
+(beyond :mod:`numpy`).  They provide the growable bitsets backing DEBI,
+deterministic RNG construction for the synthetic datasets, lightweight
+timers used by the benchmark harness, and argument-validation helpers.
+"""
+
+from repro.utils.bitset import BitMatrix, BitVector
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timers import Timeline, Timer, WallTimer
+from repro.utils.validation import (
+    ReproError,
+    ConfigurationError,
+    GraphError,
+    QueryError,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+__all__ = [
+    "BitMatrix",
+    "BitVector",
+    "make_rng",
+    "spawn_rngs",
+    "Timeline",
+    "Timer",
+    "WallTimer",
+    "ReproError",
+    "ConfigurationError",
+    "GraphError",
+    "QueryError",
+    "check_non_negative",
+    "check_positive",
+    "check_type",
+]

@@ -1,0 +1,260 @@
+"""Growable numpy-backed bitsets.
+
+DEBI stores one small bitmap per data edge (one bit per non-root query
+node) and one large bit-vector over data vertices (``roots``).  Both are
+implemented here on top of flat ``numpy`` arrays so that bulk operations
+(counting, popcount, row clears) are vectorized, while individual
+get/set/clear operations stay O(1).
+
+Two classes are provided:
+
+``BitVector``
+    A growable vector of bits addressed by a non-negative integer index.
+
+``BitMatrix``
+    A growable matrix of rows x ``width`` bits where ``width`` is fixed at
+    construction time (the number of non-root query nodes) and rows are
+    addressed by edge id.  Because query graphs in this problem domain are
+    small (|V_Q| <= 64 in all of the paper's workloads) each row fits in a
+    single 64-bit word, which keeps per-edge updates a single array write.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive
+
+_WORD_BITS = 64
+
+
+class BitVector:
+    """A growable bit vector with O(1) get/set/clear.
+
+    Parameters
+    ----------
+    initial_capacity:
+        Number of bits to pre-allocate.  The vector grows automatically
+        (geometric doubling) whenever a larger index is written.
+    """
+
+    __slots__ = ("_words", "_nbits")
+
+    def __init__(self, initial_capacity: int = 1024) -> None:
+        check_positive(initial_capacity, "initial_capacity")
+        nwords = (initial_capacity + _WORD_BITS - 1) // _WORD_BITS
+        self._words = np.zeros(max(nwords, 1), dtype=np.uint64)
+        self._nbits = 0
+
+    def _ensure(self, index: int) -> None:
+        needed_words = index // _WORD_BITS + 1
+        if needed_words > self._words.shape[0]:
+            new_size = max(needed_words, self._words.shape[0] * 2)
+            grown = np.zeros(new_size, dtype=np.uint64)
+            grown[: self._words.shape[0]] = self._words
+            self._words = grown
+        if index + 1 > self._nbits:
+            self._nbits = index + 1
+
+    def set(self, index: int) -> None:
+        """Set bit ``index`` to 1."""
+        check_non_negative(index, "index")
+        self._ensure(index)
+        self._words[index // _WORD_BITS] |= np.uint64(1 << (index % _WORD_BITS))
+
+    def clear(self, index: int) -> None:
+        """Set bit ``index`` to 0 (no-op for indexes never written)."""
+        check_non_negative(index, "index")
+        if index >= self._nbits:
+            return
+        self._words[index // _WORD_BITS] &= np.uint64(
+            ~(1 << (index % _WORD_BITS)) & (2**_WORD_BITS - 1)
+        )
+
+    def get(self, index: int) -> bool:
+        """Return bit ``index`` (False for indexes never written)."""
+        check_non_negative(index, "index")
+        if index >= self._nbits:
+            return False
+        word = int(self._words[index // _WORD_BITS])
+        return bool((word >> (index % _WORD_BITS)) & 1)
+
+    def assign(self, index: int, value: bool) -> None:
+        """Set bit ``index`` to ``value``."""
+        if value:
+            self.set(index)
+        else:
+            self.clear(index)
+
+    def count(self) -> int:
+        """Return the number of set bits."""
+        return int(np.unpackbits(self._words.view(np.uint8)).sum())
+
+    def clear_all(self) -> None:
+        """Reset every bit to 0 while keeping the allocated capacity."""
+        self._words[:] = 0
+
+    def __len__(self) -> int:
+        return self._nbits
+
+    def __contains__(self, index: int) -> bool:
+        return self.get(index)
+
+    def iter_set(self):
+        """Yield the indexes of all set bits in increasing order."""
+        nonzero_words = np.nonzero(self._words)[0]
+        for w in nonzero_words:
+            word = int(self._words[w])
+            base = int(w) * _WORD_BITS
+            while word:
+                low = word & -word
+                yield base + low.bit_length() - 1
+                word ^= low
+
+    def to_set(self) -> set[int]:
+        """Return the set of all set-bit indexes."""
+        return set(self.iter_set())
+
+
+class BitMatrix:
+    """A growable matrix of rows of ``width`` bits (width <= 64).
+
+    Rows are addressed by non-negative integer ids (edge ids).  Each row
+    is a single 64-bit word, so reading or writing a full row is one array
+    access and testing or flipping a single bit is O(1).
+    """
+
+    __slots__ = ("_rows", "_nrows", "width")
+
+    def __init__(self, width: int, initial_rows: int = 1024) -> None:
+        check_positive(width, "width")
+        if width > _WORD_BITS:
+            raise ValueError(
+                f"BitMatrix supports at most {_WORD_BITS} columns, got {width}; "
+                "query graphs larger than 64 nodes are out of scope"
+            )
+        check_positive(initial_rows, "initial_rows")
+        self.width = width
+        self._rows = np.zeros(initial_rows, dtype=np.uint64)
+        self._nrows = 0
+
+    # -- growth -----------------------------------------------------------
+    def _ensure(self, row: int) -> None:
+        if row >= self._rows.shape[0]:
+            new_size = max(row + 1, self._rows.shape[0] * 2)
+            grown = np.zeros(new_size, dtype=np.uint64)
+            grown[: self._rows.shape[0]] = self._rows
+            self._rows = grown
+        if row + 1 > self._nrows:
+            self._nrows = row + 1
+
+    # -- single-bit operations --------------------------------------------
+    def set(self, row: int, col: int) -> None:
+        """Set bit (row, col)."""
+        self._check_col(col)
+        check_non_negative(row, "row")
+        self._ensure(row)
+        self._rows[row] |= np.uint64(1 << col)
+
+    def clear(self, row: int, col: int) -> None:
+        """Clear bit (row, col)."""
+        self._check_col(col)
+        check_non_negative(row, "row")
+        if row >= self._nrows:
+            return
+        self._rows[row] &= np.uint64(~(1 << col) & (2**_WORD_BITS - 1))
+
+    def get(self, row: int, col: int) -> bool:
+        """Return bit (row, col); False for rows never written."""
+        self._check_col(col)
+        check_non_negative(row, "row")
+        if row >= self._nrows:
+            return False
+        return bool((int(self._rows[row]) >> col) & 1)
+
+    def _check_col(self, col: int) -> None:
+        if not 0 <= col < self.width:
+            raise IndexError(f"column {col} out of range [0, {self.width})")
+
+    # -- row operations ----------------------------------------------------
+    def get_row(self, row: int) -> int:
+        """Return the full row as a Python int bitmask."""
+        check_non_negative(row, "row")
+        if row >= self._nrows:
+            return 0
+        return int(self._rows[row])
+
+    def set_row(self, row: int, mask: int) -> None:
+        """Overwrite the full row with ``mask``."""
+        check_non_negative(row, "row")
+        if mask < 0 or mask >= (1 << self.width):
+            raise ValueError(f"mask {mask:#x} does not fit in {self.width} bits")
+        self._ensure(row)
+        self._rows[row] = np.uint64(mask)
+
+    def clear_row(self, row: int) -> None:
+        """Clear every bit of ``row`` (used when an edge id is recycled)."""
+        if row < self._nrows:
+            self._rows[row] = 0
+
+    def row_any(self, row: int) -> bool:
+        """Return True if any bit of ``row`` is set."""
+        return self.get_row(row) != 0
+
+    # -- bulk operations ----------------------------------------------------
+    def filter_rows_with_column(self, rows, col: int) -> list[int]:
+        """Return the subset of ``rows`` whose bit ``col`` is set (vectorized).
+
+        This is the hot path of candidate fetching during enumeration: the
+        adjacency list of the anchor vertex is filtered against one DEBI
+        column.  A single vectorized gather-and-mask replaces per-row
+        scalar lookups.
+        """
+        self._check_col(col)
+        n = len(rows)
+        if n == 0:
+            return []
+        if n < 8:  # small lists: plain Python is faster than array round-trips
+            mask = 1 << col
+            limit = self._nrows
+            rows_arr = self._rows
+            return [r for r in rows if r < limit and int(rows_arr[r]) & mask]
+        idx = np.asarray(rows, dtype=np.int64)
+        valid = idx < self._nrows
+        gathered = np.zeros(n, dtype=np.uint64)
+        gathered[valid] = self._rows[idx[valid]]
+        hits = (gathered & np.uint64(1 << col)) != 0
+        return [int(r) for r, hit in zip(rows, hits) if hit]
+
+    def count(self) -> int:
+        """Total number of set bits across all rows."""
+        if self._nrows == 0:
+            return 0
+        return int(np.unpackbits(self._rows[: self._nrows].view(np.uint8)).sum())
+
+    def column_count(self, col: int) -> int:
+        """Number of rows with bit ``col`` set."""
+        self._check_col(col)
+        if self._nrows == 0:
+            return 0
+        mask = np.uint64(1 << col)
+        return int(np.count_nonzero(self._rows[: self._nrows] & mask))
+
+    def rows_with_column(self, col: int) -> np.ndarray:
+        """Return the row ids whose bit ``col`` is set."""
+        self._check_col(col)
+        if self._nrows == 0:
+            return np.empty(0, dtype=np.int64)
+        mask = np.uint64(1 << col)
+        return np.nonzero(self._rows[: self._nrows] & mask)[0]
+
+    def clear_all(self) -> None:
+        """Reset the matrix to all zeros while keeping the capacity."""
+        self._rows[:] = 0
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the live rows in bytes."""
+        return int(self._nrows * self._rows.itemsize)
+
+    def __len__(self) -> int:
+        return self._nrows

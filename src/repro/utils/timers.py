@@ -1,0 +1,122 @@
+"""Lightweight timing utilities used by the engine and benchmark harness.
+
+The paper reports per-phase runtimes (index management vs. enumeration,
+Table III) and per-core CPU utilisation over the lifetime of a query
+(Figure 7).  ``Timer`` accumulates named phase durations; ``Timeline``
+records (timestamp, value) samples, e.g. worker busy fractions.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+class WallTimer:
+    """A simple start/stop wall-clock timer."""
+
+    __slots__ = ("_start", "elapsed")
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("WallTimer.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self._start = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class Timer:
+    """Accumulates named phase durations.
+
+    >>> t = Timer()
+    >>> with t.phase("filtering"):
+    ...     pass
+    >>> "filtering" in t.totals
+    True
+    """
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Return the accumulated duration of phase ``name`` (0.0 if never run)."""
+        return self.totals.get(name, 0.0)
+
+    def fraction(self, name: str) -> float:
+        """Return phase ``name``'s share of the total measured time."""
+        grand = sum(self.totals.values())
+        if grand == 0:
+            return 0.0
+        return self.totals.get(name, 0.0) / grand
+
+    def merge(self, other: "Timer") -> None:
+        """Fold another timer's totals into this one."""
+        for name, value in other.totals.items():
+            self.totals[name] = self.totals.get(name, 0.0) + value
+        for name, value in other.counts.items():
+            self.counts[name] = self.counts.get(name, 0) + value
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.totals)
+
+
+@dataclass
+class Timeline:
+    """A sequence of (relative timestamp, value) samples.
+
+    Used to reproduce Figure 7 (per-worker utilisation over runtime):
+    each worker appends busy-fraction samples, and the harness normalises
+    timestamps to percent-of-runtime.
+    """
+
+    samples: list[tuple[float, float]] = field(default_factory=list)
+    _origin: float = field(default_factory=time.perf_counter)
+
+    def record(self, value: float, timestamp: float | None = None) -> None:
+        ts = time.perf_counter() if timestamp is None else timestamp
+        self.samples.append((ts - self._origin, value))
+
+    def normalised(self) -> list[tuple[float, float]]:
+        """Return samples with timestamps rescaled to [0, 1]."""
+        if not self.samples:
+            return []
+        t_max = max(ts for ts, _ in self.samples)
+        if t_max == 0:
+            return [(0.0, v) for _, v in self.samples]
+        return [(ts / t_max, v) for ts, v in self.samples]
+
+    def mean(self) -> float:
+        """Mean sample value (0.0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return sum(v for _, v in self.samples) / len(self.samples)

@@ -1,0 +1,59 @@
+"""Error types and argument validation helpers.
+
+Every public entry point of the library validates its inputs eagerly and
+raises one of the exception types defined here, so that user errors are
+reported close to their source rather than deep inside the matching
+engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a stream / engine configuration value is invalid."""
+
+
+class GraphError(ReproError):
+    """Raised on invalid graph mutations (unknown edge ids, double deletes...)."""
+
+
+class QueryError(ReproError):
+    """Raised when a query graph is malformed (disconnected, empty, ...)."""
+
+
+def check_type(value: Any, expected: type | tuple[type, ...], name: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` is an ``expected`` instance."""
+    if not isinstance(value, expected):
+        raise ConfigurationError(
+            f"{name} must be of type {expected!r}, got {type(value).__name__}"
+        )
+
+
+def check_positive(value: float, name: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_negative(value: float, name: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_probability(value: float, name: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be within [0, 1], got {value!r}")
+
+
+def check_in(value: Any, allowed, name: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` is one of ``allowed``."""
+    if value not in allowed:
+        raise ConfigurationError(f"{name} must be one of {sorted(allowed)!r}, got {value!r}")

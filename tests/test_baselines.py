@@ -1,0 +1,228 @@
+"""Unit and cross-check tests for the baseline systems (CECI, TurboFlux, BigJoin, Li et al.)."""
+
+import pytest
+
+from repro.baselines import BigJoinMatcher, CECIMatcher, LiTCSMatcher, TurboFluxMatcher
+from repro.core.engine import MnemonicEngine, enumerate_static
+from repro.datasets import NetFlowConfig, generate_netflow_stream, graph_from_events
+from repro.matchers import HomomorphismMatcher, IsomorphismMatcher, TemporalIsomorphismMatcher
+from repro.query.generator import QueryGenerator
+from repro.query.query_graph import QueryGraph
+from repro.streams.events import StreamEvent
+from repro.utils.validation import GraphError, QueryError
+from tests.conftest import brute_force_node_maps
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A small simple-graph stream (no parallel edges) plus extracted queries."""
+    stream = generate_netflow_stream(NetFlowConfig(num_events=500, num_hosts=40, seed=21,
+                                                   repeat_probability=0.0))
+    seen = set()
+    events = []
+    for e in stream:
+        if (e.src, e.dst, e.label) in seen:
+            continue
+        seen.add((e.src, e.dst, e.label))
+        events.append(e)
+    graph = graph_from_events(events)
+    generator = QueryGenerator(graph, seed=5)
+    queries = [generator.tree_query(3), generator.tree_query(4), generator.graph_query(4)]
+    return events, graph, queries
+
+
+class TestCECI:
+    def test_matches_reference(self, workload):
+        events, graph, queries = workload
+        for query in queries:
+            expected = {e.node_map for e in enumerate_static(query, events)}
+            assert CECIMatcher(query).match_node_maps(graph) == expected
+
+    def test_stats_populated(self, workload):
+        events, graph, queries = workload
+        matcher = CECIMatcher(queries[0])
+        matcher.match(graph)
+        assert matcher.stats.index_entries > 0
+        assert matcher.stats.build_seconds >= 0
+        assert matcher.stats.filter_passes >= 2
+
+    def test_homomorphism_mode(self, workload):
+        events, graph, queries = workload
+        query = queries[0]
+        iso = CECIMatcher(query, match_def=IsomorphismMatcher()).match_node_maps(graph)
+        homo = CECIMatcher(query, match_def=HomomorphismMatcher()).match_node_maps(graph)
+        assert iso <= homo
+
+    def test_empty_graph(self):
+        from repro.graph.adjacency import DynamicGraph
+
+        query = QueryGraph.from_edges([(0, 1)])
+        assert CECIMatcher(query).match(DynamicGraph()) == []
+
+
+class TestTurboFlux:
+    def test_incremental_matches_reference(self, workload):
+        events, graph, queries = workload
+        for query in queries:
+            expected = {e.node_map for e in enumerate_static(query, events)}
+            matcher = TurboFluxMatcher(query)
+            found = set()
+            for e in events:
+                for emb in matcher.insert_edge(e.src, e.dst, e.label, e.src_label, e.dst_label):
+                    found.add(emb.node_map)
+            assert found == expected
+
+    def test_deletions_report_destroyed_embeddings(self):
+        query = QueryGraph.from_edges([(0, 1), (1, 2)], node_labels={0: 0, 1: 1, 2: 2})
+        matcher = TurboFluxMatcher(query)
+        matcher.insert_edge(1, 2, 0, 0, 1)
+        created = matcher.insert_edge(2, 3, 0, 1, 2)
+        assert len(created) == 1
+        destroyed = matcher.delete_edge(1, 2, 0)
+        assert len(destroyed) == 1
+        assert destroyed[0].node_map == created[0].node_map
+        assert not destroyed[0].positive
+
+    def test_collapsed_multi_edges_suppress_duplicates(self):
+        query = QueryGraph.from_edges([(0, 1), (1, 2)], node_labels={0: 0, 1: 1, 2: 2})
+        matcher = TurboFluxMatcher(query)
+        matcher.insert_edge(1, 2, 0, 0, 1)
+        matcher.insert_edge(2, 3, 0, 1, 2)
+        # A second instance of the same flow is *not* a new embedding for TurboFlux.
+        again = matcher.insert_edge(1, 2, 0, 0, 1)
+        assert again == []
+        assert matcher.stats.suppressed_duplicates == 1
+        # Deleting one instance keeps the collapsed edge alive.
+        assert matcher.delete_edge(1, 2, 0) == []
+        assert len(matcher.delete_edge(1, 2, 0)) == 1
+
+    def test_delete_unknown_edge_rejected(self):
+        query = QueryGraph.from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            TurboFluxMatcher(query).delete_edge(1, 2, 0)
+
+    def test_traversal_counter_grows_per_edge(self, workload):
+        events, graph, queries = workload
+        matcher = TurboFluxMatcher(queries[0])
+        for e in events[:50]:
+            matcher.insert_edge(e.src, e.dst, e.label, e.src_label, e.dst_label)
+        assert matcher.stats.edges_processed == 50
+        assert matcher.stats.traversed_edges > 0
+        assert matcher.state_size() >= 0
+
+
+class TestBigJoin:
+    def test_matches_reference_homomorphism(self, workload):
+        events, graph, queries = workload
+        tuples = [(e.src, e.dst, e.label, e.timestamp, e.src_label, e.dst_label) for e in events]
+        for query in queries:
+            expected = {e.node_map
+                        for e in enumerate_static(query, events, match_def=HomomorphismMatcher())}
+            matcher = BigJoinMatcher(query, match_def=HomomorphismMatcher())
+            found = {e.node_map for e in matcher.insert_batch(tuples)}
+            assert found == expected
+
+    def test_batched_insertion_misses_nothing(self, workload):
+        events, graph, queries = workload
+        query = queries[0]
+        tuples = [(e.src, e.dst, e.label, e.timestamp, e.src_label, e.dst_label) for e in events]
+        expected = {e.node_map
+                    for e in enumerate_static(query, events, match_def=HomomorphismMatcher())}
+        matcher = BigJoinMatcher(query, match_def=HomomorphismMatcher())
+        found = set()
+        for i in range(0, len(tuples), 37):
+            found |= {e.node_map for e in matcher.insert_batch(tuples[i:i + 37])}
+        assert found == expected
+
+    def test_join_order_covers_all_nodes(self):
+        query = QueryGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        matcher = BigJoinMatcher(query)
+        assert sorted(matcher._node_order) == sorted(query.nodes())
+
+    def test_stats_track_intermediate_results(self):
+        query = QueryGraph.from_edges([(0, 1), (1, 2)])
+        matcher = BigJoinMatcher(query, match_def=HomomorphismMatcher())
+        matcher.insert_batch([(1, 2, 0), (2, 3, 0), (3, 4, 0)])
+        assert matcher.stats.deltas_processed > 0
+        assert matcher.stats.intersections > 0
+
+
+class TestLiTCS:
+    def _temporal_query(self):
+        query = QueryGraph()
+        query.add_node(0, 0)
+        query.add_node(1, 1)
+        query.add_node(2, 2)
+        query.add_edge(0, 1, time_rank=0)
+        query.add_edge(1, 2, time_rank=1)
+        return query
+
+    def test_finds_time_ordered_embeddings(self):
+        matcher = LiTCSMatcher(self._temporal_query())
+        assert matcher.insert_edge(10, 11, 0, 1.0, 0, 1) == []
+        found = matcher.insert_edge(11, 12, 0, 2.0, 1, 2)
+        assert len(found) == 1
+        assert dict(found[0].node_map) == {0: 10, 1: 11, 2: 12}
+
+    def test_rejects_out_of_order_timestamps(self):
+        matcher = LiTCSMatcher(self._temporal_query())
+        matcher.insert_edge(10, 11, 0, 5.0, 0, 1)
+        assert matcher.insert_edge(11, 12, 0, 2.0, 1, 2) == []
+
+    def test_matches_mnemonic_temporal_on_ordered_stream(self):
+        query = self._temporal_query()
+        events = [
+            StreamEvent.insert(10, 11, 0, 1.0, 0, 1),
+            StreamEvent.insert(20, 21, 0, 2.0, 0, 1),
+            StreamEvent.insert(11, 12, 0, 3.0, 1, 2),
+            StreamEvent.insert(21, 22, 0, 4.0, 1, 2),
+            StreamEvent.insert(11, 22, 0, 5.0, 1, 2),
+        ]
+        engine = MnemonicEngine(query, match_def=TemporalIsomorphismMatcher())
+        mnemonic = set()
+        for event in events:
+            mnemonic |= {e.node_map for e in engine.batch_inserts([event]).positive_embeddings}
+        litcs = LiTCSMatcher(query)
+        found = set()
+        for event in events:
+            found |= {e.node_map for e in litcs.insert_edge(event.src, event.dst, event.label,
+                                                            event.timestamp, event.src_label,
+                                                            event.dst_label)}
+        assert found == mnemonic
+
+    def test_deletion_evicts_partials(self):
+        matcher = LiTCSMatcher(self._temporal_query())
+        matcher.insert_edge(10, 11, 0, 1.0, 0, 1)
+        assert matcher.stats.stored_partials == 1
+        evicted = matcher.delete_edge(10, 11, 0)
+        assert evicted == 1
+        assert matcher.stats.stored_partials == 0
+        # The prefix is gone, so a later completion no longer fires.
+        assert matcher.insert_edge(11, 12, 0, 2.0, 1, 2) == []
+
+    def test_memory_metric_grows_with_partial_matches(self):
+        matcher = LiTCSMatcher(self._temporal_query())
+        for i in range(10):
+            matcher.insert_edge(100 + i, 200 + i, 0, float(i), 0, 1)
+        assert matcher.stats.peak_stored_partials == 10
+
+    def test_delete_unknown_edge_rejected(self):
+        with pytest.raises(QueryError):
+            LiTCSMatcher(self._temporal_query()).delete_edge(1, 2, 0)
+
+
+class TestCrossSystemAgreement:
+    def test_all_systems_agree_on_isomorphism_node_maps(self, workload):
+        events, graph, queries = workload
+        query = queries[1]
+        reference = brute_force_node_maps(query, graph, injective=True) if graph.num_vertices <= 12 \
+            else {e.node_map for e in enumerate_static(query, events)}
+        mnemonic = {e.node_map for e in enumerate_static(query, events)}
+        ceci = CECIMatcher(query).match_node_maps(graph)
+        turboflux = set()
+        tf = TurboFluxMatcher(query)
+        for e in events:
+            for emb in tf.insert_edge(e.src, e.dst, e.label, e.src_label, e.dst_label):
+                turboflux.add(emb.node_map)
+        assert mnemonic == ceci == turboflux == reference if graph.num_vertices <= 12 \
+            else mnemonic == ceci == turboflux

@@ -1,0 +1,141 @@
+"""Unit tests for the synthetic dataset generators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets import (
+    LANLConfig,
+    LSBenchConfig,
+    NetFlowConfig,
+    build_query_workload,
+    generate_lanl_stream,
+    generate_lsbench_stream,
+    generate_netflow_stream,
+    graph_from_events,
+)
+from repro.streams.events import EventKind, encode_lsbench_triple, decode_lsbench_triple
+from repro.utils.validation import ConfigurationError
+
+
+class TestNetFlow:
+    def test_shape_and_labels(self):
+        stream = generate_netflow_stream(NetFlowConfig(num_events=2000, num_hosts=150, seed=1))
+        assert len(stream) == 2000
+        assert all(e.kind is EventKind.INSERT for e in stream)
+        assert all(0 <= e.label < 8 for e in stream)
+        assert all(e.src_label == 0 and e.dst_label == 0 for e in stream)  # single node type
+        assert all(e.src != e.dst for e in stream)
+
+    def test_determinism(self):
+        a = generate_netflow_stream(NetFlowConfig(num_events=500, seed=5))
+        b = generate_netflow_stream(NetFlowConfig(num_events=500, seed=5))
+        assert [(e.src, e.dst, e.label) for e in a] == [(e.src, e.dst, e.label) for e in b]
+
+    def test_power_law_skew(self):
+        stream = generate_netflow_stream(NetFlowConfig(num_events=5000, num_hosts=500, seed=2))
+        degree = Counter()
+        for e in stream:
+            degree[e.src] += 1
+            degree[e.dst] += 1
+        counts = sorted(degree.values(), reverse=True)
+        top_share = sum(counts[: max(1, len(counts) // 20)]) / sum(counts)
+        # The top 5% of hosts should carry well above a uniform share of the traffic.
+        assert top_share > 0.15
+
+    def test_contains_parallel_edges(self):
+        stream = generate_netflow_stream(NetFlowConfig(num_events=3000, num_hosts=100, seed=3,
+                                                       repeat_probability=0.4))
+        triples = Counter((e.src, e.dst, e.label) for e in stream)
+        assert any(count > 1 for count in triples.values())
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            NetFlowConfig(num_events=0)
+        with pytest.raises(ConfigurationError):
+            NetFlowConfig(attachment=1.5)
+
+
+class TestLSBench:
+    def test_prefix_is_insert_only_and_tail_has_deletes(self):
+        config = LSBenchConfig(num_events=2000, num_users=200, seed=4)
+        stream = generate_lsbench_stream(config)
+        prefix_len = int(config.num_events * config.prefix_fraction)
+        assert all(e.kind is EventKind.INSERT for e in stream[:prefix_len])
+        deletes = [e for e in stream[prefix_len:] if e.kind is EventKind.DELETE]
+        assert deletes, "expected deletions in the tail"
+        assert all(0 <= e.label < 45 for e in stream)
+
+    def test_deletions_target_live_edges(self):
+        stream = generate_lsbench_stream(LSBenchConfig(num_events=1500, num_users=150, seed=6))
+        # Replaying the stream against the graph store must never fail.
+        graph = graph_from_events(stream)
+        assert graph.num_edges > 0
+
+    def test_wire_format_roundtrip(self):
+        stream = generate_lsbench_stream(LSBenchConfig(num_events=800, num_users=80, seed=7))
+        for event in stream:
+            wire = encode_lsbench_triple(event)
+            decoded = decode_lsbench_triple(wire, timestamp=event.timestamp)
+            assert decoded.kind is event.kind
+            assert decoded.as_triple() == event.as_triple()
+
+    def test_determinism(self):
+        a = generate_lsbench_stream(LSBenchConfig(num_events=400, seed=9))
+        b = generate_lsbench_stream(LSBenchConfig(num_events=400, seed=9))
+        assert a == b
+
+
+class TestLANL:
+    def test_timestamps_monotone_and_bounded(self):
+        config = LANLConfig(num_events=3000, num_entities=200, seed=8)
+        stream = generate_lanl_stream(config)
+        timestamps = [e.timestamp for e in stream]
+        assert timestamps == sorted(timestamps)
+        assert timestamps[-1] <= config.num_days * 24.0 * 60.0
+
+    def test_node_and_edge_label_cardinalities(self):
+        stream = generate_lanl_stream(LANLConfig(num_events=2000, num_entities=150, seed=9))
+        node_labels = {e.src_label for e in stream} | {e.dst_label for e in stream}
+        edge_labels = {e.label for e in stream}
+        assert node_labels <= set(range(6))
+        assert len(node_labels) > 1
+        assert edge_labels <= set(range(3))
+
+    def test_entity_labels_consistent(self):
+        stream = generate_lanl_stream(LANLConfig(num_events=2000, num_entities=150, seed=10))
+        seen: dict[int, int] = {}
+        for e in stream:
+            for vertex, label in ((e.src, e.src_label), (e.dst, e.dst_label)):
+                assert seen.setdefault(vertex, label) == label
+
+    def test_recurring_pairs_present(self):
+        stream = generate_lanl_stream(LANLConfig(num_events=3000, num_entities=300, seed=11))
+        pairs = Counter((e.src, e.dst) for e in stream)
+        assert pairs.most_common(1)[0][1] > 5
+
+
+class TestWorkloadBuilder:
+    def test_build_query_workload(self):
+        stream = generate_netflow_stream(NetFlowConfig(num_events=1500, num_hosts=100, seed=12))
+        workload = build_query_workload(stream, tree_sizes=(3, 4), graph_sizes=(4,),
+                                        queries_per_suite=2, prefix=1000, seed=3)
+        assert workload.total() == 6
+        for suite, query in workload:
+            query.validate()
+            size = int(suite.split("_")[1])
+            assert query.num_nodes == size
+
+    def test_graph_from_events_applies_deletes(self):
+        stream = generate_lsbench_stream(LSBenchConfig(num_events=1000, num_users=100, seed=13))
+        graph = graph_from_events(stream)
+        inserts = sum(1 for e in stream if e.kind is EventKind.INSERT)
+        deletes = len(stream) - inserts
+        assert graph.num_edges == inserts - deletes
+
+    def test_timestamped_workload(self):
+        stream = generate_lanl_stream(LANLConfig(num_events=1500, num_entities=120, seed=14))
+        workload = build_query_workload(stream, tree_sizes=(3,), graph_sizes=(),
+                                        queries_per_suite=1, with_timestamps=True, seed=4)
+        query = workload.queries("T_3")[0]
+        assert all(e.time_rank is not None for e in query.edges())

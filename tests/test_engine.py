@@ -1,0 +1,191 @@
+"""Unit tests for the Mnemonic engine (configuration, streaming loop, metrics)."""
+
+import pytest
+
+from repro.core.engine import EngineConfig, MnemonicEngine, enumerate_static
+from repro.core.parallel import ParallelConfig
+from repro.graph.adjacency import DynamicGraph
+from repro.query.query_graph import QueryGraph
+from repro.streams.config import StreamConfig, StreamType
+from repro.streams.events import StreamEvent
+from repro.utils.validation import ConfigurationError, QueryError
+
+
+def path_query():
+    return QueryGraph.from_edges([(0, 1), (1, 2)], node_labels={0: 0, 1: 1, 2: 2})
+
+
+def chain_events(base=10):
+    return [
+        StreamEvent.insert(base, base + 1, src_label=0, dst_label=1),
+        StreamEvent.insert(base + 1, base + 2, src_label=1, dst_label=2),
+    ]
+
+
+class TestConstruction:
+    def test_invalid_query_rejected(self):
+        with pytest.raises(QueryError):
+            MnemonicEngine(QueryGraph())
+
+    def test_prepopulated_graph_is_indexed(self):
+        graph = DynamicGraph()
+        graph.add_edge(10, 11, src_label=0, dst_label=1)
+        graph.add_edge(11, 12, src_label=1, dst_label=2)
+        engine = MnemonicEngine(path_query(), graph=graph)
+        assert engine.debi.total_bits_set() > 0
+        # New embedding only when a new edge arrives; existing ones are not re-enumerated.
+        result = engine.batch_inserts([StreamEvent.insert(11, 13, src_label=1, dst_label=2)])
+        assert result.num_positive == 1
+
+    def test_explicit_root_override(self):
+        engine = MnemonicEngine(path_query(), root=2)
+        assert engine.tree.root == 2
+
+    def test_index_size_formula(self):
+        engine = MnemonicEngine(path_query())
+        engine.batch_inserts(chain_events())
+        expected = engine.graph.num_placeholders * 2 + engine.graph.num_vertices
+        assert engine.index_size_bits() == expected
+
+
+class TestBatchAPIs:
+    def test_batch_inserts_returns_new_embeddings(self):
+        engine = MnemonicEngine(path_query())
+        result = engine.batch_inserts(chain_events())
+        assert result.num_positive == 1
+        assert result.num_insertions == 2
+        assert result.positive_embeddings[0].positive
+
+    def test_batch_inserts_accepts_tuples(self):
+        engine = MnemonicEngine(path_query())
+        result = engine.batch_inserts([
+            (10, 11, 0, 0.0, 0, 1),
+            (11, 12, 0, 0.0, 1, 2),
+        ])
+        assert result.num_positive == 1
+
+    def test_batch_deletes_returns_negative_embeddings(self):
+        engine = MnemonicEngine(path_query())
+        engine.batch_inserts(chain_events())
+        result = engine.batch_deletes([StreamEvent.delete(11, 12, 0)])
+        assert result.num_negative == 1
+        assert not result.negative_embeddings[0].positive
+
+    def test_delete_of_unknown_edge_rejected(self):
+        engine = MnemonicEngine(path_query())
+        with pytest.raises(ConfigurationError):
+            engine.batch_deletes([StreamEvent.delete(1, 2, 0)])
+
+    def test_load_initial_does_not_enumerate(self):
+        engine = MnemonicEngine(path_query())
+        loaded = engine.load_initial(chain_events())
+        assert loaded == 2
+        assert engine.debi.total_bits_set() > 0
+        # The embedding already existed; only genuinely new ones are reported later.
+        result = engine.batch_inserts([StreamEvent.insert(20, 21, src_label=0, dst_label=1)])
+        assert result.num_positive == 0
+
+    def test_load_initial_rejects_deletes(self):
+        engine = MnemonicEngine(path_query())
+        with pytest.raises(ConfigurationError):
+            engine.load_initial([StreamEvent.delete(1, 2)])
+
+    def test_collect_embeddings_disabled_still_counts(self):
+        config = EngineConfig(collect_embeddings=False)
+        engine = MnemonicEngine(path_query(), config=config)
+        result = engine.batch_inserts(chain_events())
+        assert result.num_positive == 1
+        assert result.positive_embeddings == []
+
+
+class TestRunLoop:
+    def test_run_insert_only_stream(self):
+        engine = MnemonicEngine(
+            path_query(),
+            config=EngineConfig(stream=StreamConfig(batch_size=2)),
+        )
+        events = chain_events() + chain_events(base=20) + chain_events(base=30)
+        result = engine.run(events)
+        assert len(result.snapshots) == 3
+        assert result.total_positive == 3
+        assert result.total_negative == 0
+        assert result.total_seconds >= 0.0
+
+    def test_run_insert_delete_stream(self):
+        engine = MnemonicEngine(
+            path_query(),
+            config=EngineConfig(
+                stream=StreamConfig(stream_type=StreamType.INSERT_DELETE, batch_size=10)
+            ),
+        )
+        events = chain_events() + [StreamEvent.delete(10, 11, 0)]
+        result = engine.run(events)
+        # Insert and its deletion cancel inside one batch: the embedding never materialises.
+        assert result.total_positive == 0
+
+        engine2 = MnemonicEngine(
+            path_query(),
+            config=EngineConfig(
+                stream=StreamConfig(stream_type=StreamType.INSERT_DELETE, batch_size=2)
+            ),
+        )
+        result2 = engine2.run(events)
+        assert result2.total_positive == 1
+        assert result2.total_negative == 1
+        assert len(result2.net_result_set()) == 0
+
+    def test_run_sliding_window_stream(self):
+        engine = MnemonicEngine(
+            path_query(),
+            config=EngineConfig(
+                stream=StreamConfig(stream_type=StreamType.SLIDING_WINDOW, window=10.0, stride=5.0)
+            ),
+        )
+        events = [
+            StreamEvent.insert(10, 11, timestamp=0.0, src_label=0, dst_label=1),
+            StreamEvent.insert(11, 12, timestamp=1.0, src_label=1, dst_label=2),
+            StreamEvent.insert(20, 21, timestamp=30.0, src_label=0, dst_label=1),
+            StreamEvent.insert(21, 22, timestamp=31.0, src_label=1, dst_label=2),
+            StreamEvent.insert(40, 41, timestamp=60.0, src_label=0, dst_label=1),
+        ]
+        result = engine.run(events)
+        assert result.total_positive == 2
+        # The first chain must have been destroyed when it slid out of the window.
+        assert result.total_negative >= 1
+        assert engine.graph.num_edges < 5
+
+    def test_snapshot_results_track_footprint(self):
+        engine = MnemonicEngine(path_query(), config=EngineConfig(stream=StreamConfig(batch_size=2)))
+        result = engine.run(chain_events())
+        snap = result.snapshots[0]
+        assert snap.live_edges == 2
+        assert snap.edge_placeholders == 2
+        assert snap.debi_bits >= 2
+        assert snap.total_seconds >= 0
+        assert snap.total_embeddings == snap.num_positive
+
+    def test_memory_report_and_reset(self):
+        engine = MnemonicEngine(path_query())
+        engine.batch_inserts(chain_events())
+        report = engine.memory_report()
+        assert report["live_edges"] == 2
+        assert report["debi_bits_set"] > 0
+        engine.reset_index()
+        assert engine.debi.total_bits_set() == report["debi_bits_set"]
+
+    def test_parallel_engine_configuration(self):
+        config = EngineConfig(parallel=ParallelConfig(backend="thread", num_workers=2))
+        engine = MnemonicEngine(path_query(), config=config)
+        result = engine.batch_inserts(chain_events())
+        assert result.num_positive == 1
+
+
+class TestEnumerateStatic:
+    def test_matches_manual_engine_run(self):
+        events = chain_events() + chain_events(base=20)
+        static = enumerate_static(path_query(), events)
+        engine = MnemonicEngine(path_query())
+        incremental = []
+        for event in events:
+            incremental.extend(engine.batch_inserts([event]).positive_embeddings)
+        assert {e.node_map for e in static} == {e.node_map for e in incremental}

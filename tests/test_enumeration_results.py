@@ -1,0 +1,160 @@
+"""Unit tests for embeddings, result sets, work decomposition and enumeration."""
+
+import pytest
+
+from repro.core.api import DefaultMatchDefinition
+from repro.core.engine import MnemonicEngine, enumerate_static
+from repro.core.enumeration import WorkUnit, decompose_batch
+from repro.core.results import Embedding, ResultSet
+from repro.matchers import HomomorphismMatcher
+from repro.query.query_graph import QueryGraph
+from repro.streams.events import StreamEvent
+
+
+class TestEmbedding:
+    def test_build_and_accessors(self):
+        emb = Embedding.build({1: 10, 0: 20}, {0: 5}, start_edge=0)
+        assert emb.nodes() == {0: 20, 1: 10}
+        assert emb.edges() == {0: 5}
+        assert emb.vertex_of(1) == 10
+        assert emb.positive
+        assert emb.node_map == ((0, 20), (1, 10))  # canonical (sorted) order
+
+    def test_identity_ignores_start_edge(self):
+        a = Embedding.build({0: 1}, {0: 2}, start_edge=0)
+        b = Embedding.build({0: 1}, {0: 2}, start_edge=3)
+        assert a.identity() == b.identity()
+
+    def test_identity_distinguishes_sign(self):
+        pos = Embedding.build({0: 1}, {0: 2}, 0, positive=True)
+        neg = Embedding.build({0: 1}, {0: 2}, 0, positive=False)
+        assert pos.identity() != neg.identity()
+
+
+class TestResultSet:
+    def test_add_and_duplicate_detection(self):
+        results = ResultSet()
+        emb = Embedding.build({0: 1}, {0: 2}, 0)
+        assert results.add(emb)
+        assert not results.add(Embedding.build({0: 1}, {0: 2}, 5))
+        assert len(results) == 1
+        assert results.duplicates_rejected == 1
+        assert emb in results
+
+    def test_extend_and_partitions(self):
+        results = ResultSet()
+        added = results.extend([
+            Embedding.build({0: 1}, {0: 2}, 0, positive=True),
+            Embedding.build({0: 3}, {0: 4}, 0, positive=False),
+        ])
+        assert added == 2
+        assert len(results.positives()) == 1
+        assert len(results.negatives()) == 1
+        assert len(results.node_mappings()) == 2
+
+
+class TestWorkDecomposition:
+    def _engine(self):
+        query = QueryGraph.from_edges([(0, 1), (1, 2)], node_labels={0: 0, 1: 1, 2: 2})
+        # Root pinned at node 0 so the DEBI column of node 1 has a downward
+        # requirement (the 1 -> 2 edge), which is what these tests exercise.
+        return MnemonicEngine(query, root=0)
+
+    def test_units_require_label_match(self):
+        engine = self._engine()
+        engine.batch_inserts([StreamEvent.insert(10, 11, src_label=0, dst_label=1)])
+        # Insert an edge that matches no query edge: no work units.
+        result = engine.batch_inserts([StreamEvent.insert(50, 51, src_label=5, dst_label=5)])
+        assert result.work_units == 0
+        assert result.num_positive == 0
+
+    def test_units_require_debi_bit_for_tree_edges(self):
+        engine = self._engine()
+        # (A -> B) matches the first tree edge by labels but has no downward
+        # support yet, so its DEBI bit is unset and no unit is created.
+        result = engine.batch_inserts([StreamEvent.insert(10, 11, src_label=0, dst_label=1)])
+        assert result.work_units == 0
+
+    def test_units_created_when_supported(self):
+        engine = self._engine()
+        engine.batch_inserts([StreamEvent.insert(11, 12, src_label=1, dst_label=2)])
+        result = engine.batch_inserts([StreamEvent.insert(10, 11, src_label=0, dst_label=1)])
+        assert result.work_units == 1
+        assert result.num_positive == 1
+
+    def test_decompose_batch_non_tree_edges_skip_debi(self):
+        query = QueryGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        engine = MnemonicEngine(query)
+        engine.batch_inserts([
+            StreamEvent.insert(1, 2),
+            StreamEvent.insert(2, 3),
+        ])
+        context = engine._make_context(batch_edge_ids={0, 1}, positive=True)
+        units = decompose_batch(context, [0, 1])
+        # Wildcard labels: every edge matches the non-tree query edge regardless of DEBI.
+        non_tree_index = engine.tree.non_tree_edges[0].index
+        assert any(u.start_edge == non_tree_index for u in units)
+
+
+class TestEnumerationSemantics:
+    def test_isomorphism_rejects_vertex_reuse(self):
+        query = QueryGraph.from_edges([(0, 1), (1, 2)], node_labels={0: 0, 1: 1, 2: 0})
+        events = [
+            StreamEvent.insert(7, 8, src_label=0, dst_label=1),
+            StreamEvent.insert(8, 7, src_label=1, dst_label=0),
+        ]
+        iso = enumerate_static(query, events)
+        homo = enumerate_static(query, events, match_def=HomomorphismMatcher())
+        # Isomorphism cannot map nodes 0 and 2 to the same vertex; homomorphism can.
+        assert len(iso) == 0
+        assert len(homo) == 1
+
+    def test_self_loop_query_edge(self):
+        query = QueryGraph.from_edges([(0, 0), (0, 1)])
+        events = [
+            StreamEvent.insert(5, 5),
+            StreamEvent.insert(5, 6),
+        ]
+        # Homomorphism: node 1 may map to 5 (reusing the self-loop) or to 6.
+        homo = enumerate_static(query, events, match_def=HomomorphismMatcher())
+        assert {e.node_map for e in homo} == {((0, 5), (1, 5)), ((0, 5), (1, 6))}
+        # Isomorphism: the self-loop constraint still binds node 0 to vertex 5,
+        # and node 1 must map to a distinct vertex.
+        iso = enumerate_static(query, events)
+        assert {e.node_map for e in iso} == {((0, 5), (1, 6))}
+
+    def test_parallel_data_edges_create_distinct_embeddings(self):
+        query = QueryGraph.from_edges([(0, 1), (1, 2)], node_labels={0: 0, 1: 1, 2: 2})
+        events = [
+            StreamEvent.insert(1, 2, label=0, src_label=0, dst_label=1),
+            StreamEvent.insert(1, 2, label=0, src_label=0, dst_label=1),  # parallel instance
+            StreamEvent.insert(2, 3, label=0, src_label=1, dst_label=2),
+        ]
+        found = enumerate_static(query, events)
+        # Same node mapping, two distinct edge-level embeddings (context-awareness).
+        assert len(found) == 2
+        assert len({e.node_map for e in found}) == 1
+        assert len({e.edge_map for e in found}) == 2
+
+    def test_parallel_query_edges_need_distinct_witnesses(self):
+        query = QueryGraph.from_edges([(0, 1), (0, 1)])
+        one_edge = [StreamEvent.insert(4, 5)]
+        two_edges = [StreamEvent.insert(4, 5), StreamEvent.insert(4, 5)]
+        assert len(enumerate_static(query, one_edge)) == 0
+        assert len(enumerate_static(query, two_edges)) >= 1
+
+    def test_root_bit_pruning_does_not_lose_matches(self):
+        # Chain query where enumeration starts far from the root.
+        query = QueryGraph.from_edges([(0, 1), (1, 2), (2, 3)],
+                                      node_labels={0: 0, 1: 1, 2: 2, 3: 3})
+        engine = MnemonicEngine(query)
+        engine.batch_inserts([
+            StreamEvent.insert(10, 11, src_label=0, dst_label=1),
+            StreamEvent.insert(11, 12, src_label=1, dst_label=2),
+        ])
+        result = engine.batch_inserts([StreamEvent.insert(12, 13, src_label=2, dst_label=3)])
+        assert result.num_positive == 1
+
+    def test_work_unit_dataclass(self):
+        unit = WorkUnit(edge_id=3, start_edge=1)
+        assert unit.edge_id == 3 and unit.start_edge == 1

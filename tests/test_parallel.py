@@ -1,0 +1,63 @@
+"""Unit tests for the parallel enumeration backends."""
+
+import pytest
+
+from repro.core.engine import EngineConfig, MnemonicEngine
+from repro.core.parallel import ParallelConfig
+from repro.datasets import NetFlowConfig, generate_netflow_stream, graph_from_events
+from repro.query.generator import QueryGenerator
+from repro.streams.config import StreamConfig
+from repro.utils.validation import ConfigurationError
+
+
+def build_workload():
+    stream = generate_netflow_stream(NetFlowConfig(num_events=600, num_hosts=60, seed=13))
+    graph = graph_from_events(stream[:400])
+    query = QueryGenerator(graph, seed=2).tree_query(3)
+    return query, stream
+
+
+def run_with(parallel: ParallelConfig):
+    query, stream = build_workload()
+    config = EngineConfig(stream=StreamConfig(batch_size=128), parallel=parallel)
+    engine = MnemonicEngine(query, config=config)
+    engine.load_initial(stream[:400])
+    result = engine.run(stream[400:])
+    return {e.identity() for s in result.snapshots for e in s.positive_embeddings}, result
+
+
+class TestParallelConfig:
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(backend="gpu")
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(num_workers=0)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(chunk_size=0)
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("backend,workers", [("thread", 4), ("process", 2)])
+    def test_backend_matches_serial(self, backend, workers):
+        serial_embeddings, serial_result = run_with(ParallelConfig(backend="serial"))
+        other_embeddings, other_result = run_with(
+            ParallelConfig(backend=backend, num_workers=workers, chunk_size=8)
+        )
+        assert other_embeddings == serial_embeddings
+        assert serial_result.total_positive == other_result.total_positive
+
+    def test_worker_stats_recorded(self):
+        _, result = run_with(ParallelConfig(backend="thread", num_workers=3))
+        outcomes = [o for s in result.snapshots for o in s.enumeration_outcomes if o.worker_stats]
+        assert outcomes, "expected at least one enumeration outcome with worker stats"
+        assert any(w.units_processed > 0 for o in outcomes for w in o.worker_stats)
+        assert all(0.0 <= o.mean_utilisation() <= 1.0 for o in outcomes)
+
+    def test_empty_unit_list(self):
+        from repro.core.parallel import run_enumeration
+
+        outcome = run_enumeration(None, [], ParallelConfig(backend="thread", num_workers=2))
+        assert outcome.embeddings == []
+        assert outcome.wall_seconds == 0.0

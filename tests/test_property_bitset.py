@@ -1,0 +1,76 @@
+"""Property-based tests: the bitsets behave like reference set models."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.bitset import BitMatrix, BitVector
+
+# Operations on a BitVector: (op, index)
+_vector_ops = st.lists(
+    st.tuples(st.sampled_from(["set", "clear"]), st.integers(min_value=0, max_value=512)),
+    max_size=60,
+)
+
+# Operations on a BitMatrix: (op, row, col)
+_matrix_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "clear", "clear_row"]),
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=7),
+    ),
+    max_size=60,
+)
+
+
+class TestBitVectorModel:
+    @given(_vector_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_set_model(self, ops):
+        vector = BitVector(initial_capacity=4)
+        model: set[int] = set()
+        for op, index in ops:
+            if op == "set":
+                vector.set(index)
+                model.add(index)
+            else:
+                vector.clear(index)
+                model.discard(index)
+        assert vector.to_set() == model
+        assert vector.count() == len(model)
+        for index in range(0, 513, 13):
+            assert vector.get(index) == (index in model)
+
+
+class TestBitMatrixModel:
+    @given(_matrix_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_model(self, ops):
+        matrix = BitMatrix(width=8, initial_rows=2)
+        model: set[tuple[int, int]] = set()
+        for op, row, col in ops:
+            if op == "set":
+                matrix.set(row, col)
+                model.add((row, col))
+            elif op == "clear":
+                matrix.clear(row, col)
+                model.discard((row, col))
+            else:
+                matrix.clear_row(row)
+                model = {(r, c) for (r, c) in model if r != row}
+        assert matrix.count() == len(model)
+        for row in {r for r, _ in model} | {0, 1, 199}:
+            expected_mask = sum(1 << c for (r, c) in model if r == row)
+            assert matrix.get_row(row) == expected_mask
+        for col in range(8):
+            assert matrix.column_count(col) == sum(1 for (_, c) in model if c == col)
+
+    @given(_matrix_ops)
+    @settings(max_examples=30, deadline=None)
+    def test_row_roundtrip(self, ops):
+        matrix = BitMatrix(width=8)
+        for op, row, col in ops:
+            if op == "set":
+                matrix.set(row, col)
+        for _, row, _ in ops:
+            mask = matrix.get_row(row)
+            matrix.set_row(row, mask)
+            assert matrix.get_row(row) == mask

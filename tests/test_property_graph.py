@@ -1,0 +1,85 @@
+"""Property-based tests for the dynamic graph store (recycling invariants)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.adjacency import DynamicGraph
+
+# A small universe of vertices and labels keeps collisions (parallel edges,
+# repeated deletes) frequent, which is where the interesting behaviour lives.
+_events = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.integers(min_value=0, max_value=6),   # src
+        st.integers(min_value=0, max_value=6),   # dst
+        st.integers(min_value=0, max_value=2),   # label
+    ),
+    max_size=80,
+)
+
+
+def apply_events(graph: DynamicGraph, events):
+    """Apply events, skipping deletes with no live target; return the live multiset."""
+    from collections import Counter
+
+    live = Counter()
+    for kind, src, dst, label in events:
+        if kind == "insert":
+            graph.add_edge(src, dst, label)
+            live[(src, dst, label)] += 1
+        else:
+            if live[(src, dst, label)] > 0:
+                graph.delete_edge_instance(src, dst, label)
+                live[(src, dst, label)] -= 1
+    return +live
+
+
+class TestGraphStoreProperties:
+    @given(_events, st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_live_edges_match_reference_multiset(self, events, recycle):
+        graph = DynamicGraph(recycle_edge_ids=recycle)
+        live = apply_events(graph, events)
+        from collections import Counter
+
+        stored = Counter((r.src, r.dst, r.label) for r in graph.edges())
+        assert stored == live
+        assert graph.num_edges == sum(live.values())
+
+    @given(_events)
+    @settings(max_examples=80, deadline=None)
+    def test_live_edge_ids_are_unique_and_consistent(self, events):
+        graph = DynamicGraph()
+        apply_events(graph, events)
+        ids = [r.edge_id for r in graph.edges()]
+        assert len(ids) == len(set(ids))
+        for record in graph.edges():
+            assert record.edge_id in graph.out_edges(record.src)
+            assert record.edge_id in graph.in_edges(record.dst)
+            assert graph.edge(record.edge_id) == record
+
+    @given(_events)
+    @settings(max_examples=60, deadline=None)
+    def test_recycling_never_exceeds_unrecycled_placeholders(self, events):
+        recycled = DynamicGraph(recycle_edge_ids=True)
+        plain = DynamicGraph(recycle_edge_ids=False)
+        apply_events(recycled, events)
+        apply_events(plain, events)
+        assert recycled.num_placeholders <= plain.num_placeholders
+        # Placeholders are bounded below by the peak number of live edges.
+        assert recycled.num_placeholders >= recycled.num_edges
+
+    @given(_events)
+    @settings(max_examples=60, deadline=None)
+    def test_adjacency_and_degree_counters_agree(self, events):
+        graph = DynamicGraph()
+        apply_events(graph, events)
+        for vertex in graph.vertices():
+            assert graph.out_degree(vertex) == len(graph.out_edges(vertex))
+            assert graph.in_degree(vertex) == len(graph.in_edges(vertex))
+            for label in range(3):
+                assert graph.out_label_degree(vertex, label) == sum(
+                    1 for e in graph.out_edges(vertex) if graph.edge(e).label == label
+                )
+                assert graph.in_label_degree(vertex, label) == sum(
+                    1 for e in graph.in_edges(vertex) if graph.edge(e).label == label
+                )

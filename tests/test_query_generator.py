@@ -1,0 +1,90 @@
+"""Unit tests for random query extraction from a data graph."""
+
+import pytest
+
+from repro.datasets import generate_netflow_stream, NetFlowConfig, graph_from_events
+from repro.query.generator import QueryGenerator, QueryWorkload
+from repro.query.query_graph import QueryGraph
+from repro.utils.validation import QueryError
+
+
+@pytest.fixture(scope="module")
+def sample_graph():
+    stream = generate_netflow_stream(NetFlowConfig(num_events=1500, num_hosts=120, seed=3))
+    return graph_from_events(stream)
+
+
+class TestQueryGenerator:
+    def test_tree_query_shape(self, sample_graph):
+        generator = QueryGenerator(sample_graph, seed=1)
+        query = generator.tree_query(5)
+        query.validate()
+        assert query.num_nodes == 5
+        assert query.num_edges == 4
+        assert query.is_tree()
+
+    def test_graph_query_has_cycle(self, sample_graph):
+        generator = QueryGenerator(sample_graph, seed=2)
+        query = generator.graph_query(5)
+        query.validate()
+        assert query.num_nodes == 5
+        assert query.num_edges >= 5
+
+    def test_queries_have_embeddings_in_source_graph(self, sample_graph):
+        from repro.baselines import CECIMatcher
+
+        generator = QueryGenerator(sample_graph, seed=4)
+        query = generator.tree_query(3)
+        matches = CECIMatcher(query).match(sample_graph)
+        assert len(matches) >= 1
+
+    def test_determinism(self, sample_graph):
+        q1 = QueryGenerator(sample_graph, seed=9).tree_query(4)
+        q2 = QueryGenerator(sample_graph, seed=9).tree_query(4)
+        assert [e.endpoints() for e in q1.edges()] == [e.endpoints() for e in q2.edges()]
+        assert [q1.node_label(u) for u in q1.nodes()] == [q2.node_label(u) for u in q2.nodes()]
+
+    def test_timestamp_ranks(self, sample_graph):
+        generator = QueryGenerator(sample_graph, seed=5)
+        query = generator.tree_query(4, with_timestamps=True)
+        ranks = [e.time_rank for e in query.edges()]
+        assert all(rank is not None for rank in ranks)
+        assert sorted(ranks) == list(range(len(ranks)))
+
+    def test_too_small_query_rejected(self, sample_graph):
+        generator = QueryGenerator(sample_graph, seed=0)
+        with pytest.raises(QueryError):
+            generator.tree_query(1)
+
+    def test_empty_graph_rejected(self):
+        from repro.graph.adjacency import DynamicGraph
+
+        with pytest.raises(QueryError):
+            QueryGenerator(DynamicGraph())
+
+    def test_impossible_size_raises(self):
+        from repro.graph.adjacency import DynamicGraph
+
+        graph = DynamicGraph()
+        graph.add_edge(0, 1)
+        generator = QueryGenerator(graph, seed=0)
+        with pytest.raises(QueryError):
+            generator.tree_query(10, max_attempts=5)
+
+    def test_workload_suites(self, sample_graph):
+        generator = QueryGenerator(sample_graph, seed=6)
+        workload = generator.workload(tree_sizes=(3, 4), graph_sizes=(4,), queries_per_suite=2)
+        assert set(workload.suite_names()) == {"T_3", "T_4", "G_4"}
+        assert workload.total() == 6
+        assert len(workload.queries("T_3")) == 2
+        assert len(list(workload)) == 6
+
+
+class TestQueryWorkload:
+    def test_add_and_lookup(self):
+        workload = QueryWorkload()
+        query = QueryGraph.from_edges([(0, 1)])
+        workload.add("T_2", query)
+        assert workload.queries("T_2") == [query]
+        assert workload.queries("missing") == []
+        assert workload.total() == 1

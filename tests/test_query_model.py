@@ -1,0 +1,223 @@
+"""Unit tests for the query graph, query tree, matching orders and masks."""
+
+import pytest
+
+from repro.query.masking import MaskTable
+from repro.query.matching_order import build_matching_order, build_matching_orders
+from repro.query.query_graph import QueryGraph, WILDCARD_LABEL
+from repro.query.query_tree import QueryTree, select_root
+from repro.utils.validation import QueryError
+
+
+def chain_query(n: int) -> QueryGraph:
+    query = QueryGraph()
+    for i in range(n - 1):
+        query.add_edge(i, i + 1)
+    return query
+
+
+class TestQueryGraph:
+    def test_from_edges_with_labels(self):
+        query = QueryGraph.from_edges([(0, 1, 5), (1, 2)], node_labels={0: 1, 1: 2, 2: 3})
+        assert query.num_nodes == 3
+        assert query.num_edges == 2
+        assert query.node_label(0) == 1
+        assert query.edge(0).label == 5
+        assert query.edge(1).label == WILDCARD_LABEL
+
+    def test_auto_added_nodes_are_wildcard(self):
+        query = QueryGraph.from_edges([(0, 1)])
+        assert query.node_label(0) == WILDCARD_LABEL
+
+    def test_edges_between_and_neighbors(self):
+        query = QueryGraph.from_edges([(0, 1), (1, 0), (1, 2)])
+        assert {e.index for e in query.edges_between(0, 1)} == {0, 1}
+        assert query.neighbors(1) == {0, 2}
+        assert query.degree(1) == 3
+
+    def test_other_endpoint(self):
+        query = QueryGraph.from_edges([(0, 1)])
+        edge = query.edge(0)
+        assert edge.other(0) == 1
+        assert edge.other(1) == 0
+        with pytest.raises(QueryError):
+            edge.other(5)
+
+    def test_label_requirements(self):
+        query = QueryGraph.from_edges([(0, 1, 7), (0, 2, 7), (3, 0, 9)])
+        assert query.out_label_requirement(0) == {7: 2}
+        assert query.in_label_requirement(0) == {9: 1}
+
+    def test_validate_rejects_empty_and_disconnected(self):
+        with pytest.raises(QueryError):
+            QueryGraph().validate()
+        query = QueryGraph.from_edges([(0, 1), (2, 3)])
+        with pytest.raises(QueryError):
+            query.validate()
+
+    def test_relabel_node_rejected(self):
+        query = QueryGraph()
+        query.add_node(0, 1)
+        with pytest.raises(QueryError):
+            query.add_node(0, 2)
+
+    def test_is_tree(self):
+        assert chain_query(4).is_tree()
+        cyclic = QueryGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        assert not cyclic.is_tree()
+
+    def test_unknown_lookups(self):
+        query = chain_query(3)
+        with pytest.raises(QueryError):
+            query.node_label(99)
+        with pytest.raises(QueryError):
+            query.edge(99)
+
+    def test_label_frequencies(self):
+        query = QueryGraph.from_edges([(0, 1)], node_labels={0: 5, 1: 5})
+        assert query.label_frequencies() == {5: 2}
+
+
+class TestQueryTree:
+    def test_bfs_tree_structure(self):
+        query = chain_query(4)
+        tree = QueryTree(query, root=0)
+        assert tree.root == 0
+        assert tree.num_columns == 3
+        assert tree.parent == {1: 0, 2: 1, 3: 2}
+        assert tree.depth == {0: 0, 1: 1, 2: 2, 3: 3}
+        assert tree.bfs_order == [0, 1, 2, 3]
+        assert tree.non_tree_edges == []
+        assert tree.leaves() == [3]
+        assert tree.diameter_bound() == 3
+
+    def test_non_tree_edges_detected(self):
+        query = QueryGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        tree = QueryTree(query, root=0)
+        assert len(tree.tree_edges) == 2
+        assert len(tree.non_tree_edges) == 1
+        non_tree = tree.non_tree_edges[0]
+        assert not tree.is_tree_edge(non_tree.index)
+
+    def test_parent_child_ignores_direction(self):
+        # Edge directed child -> parent: u0 is still the parent of u2.
+        query = QueryGraph.from_edges([(2, 0), (0, 1)])
+        tree = QueryTree(query, root=0)
+        assert tree.parent[2] == 0
+        tree_edge = tree.tree_edge_by_child[2]
+        assert not tree_edge.parent_is_src
+
+    def test_columns_are_unique_and_dense(self):
+        query = QueryGraph.from_edges([(0, 1), (0, 2), (1, 3), (2, 4)])
+        tree = QueryTree(query, root=0)
+        columns = sorted(te.column for te in tree.tree_edges)
+        assert columns == list(range(tree.num_columns))
+        assert tree.column_of(3) == tree.tree_edge_by_child[3].column
+
+    def test_column_of_root_rejected(self):
+        tree = QueryTree(chain_query(3), root=0)
+        with pytest.raises(QueryError):
+            tree.column_of(0)
+
+    def test_path_to_root(self):
+        tree = QueryTree(chain_query(5), root=0)
+        assert tree.path_to_root(4) == [4, 3, 2, 1, 0]
+
+    def test_invalid_root_rejected(self):
+        with pytest.raises(QueryError):
+            QueryTree(chain_query(3), root=77)
+
+    def test_root_selection_prefers_rare_data_label(self):
+        query = QueryGraph.from_edges([(0, 1)], node_labels={0: 1, 1: 2})
+        # Label 2 is rarer in the data graph, so node 1 should win.
+        root = select_root(query, data_label_frequencies={1: 100, 2: 3})
+        assert root == 1
+
+    def test_root_selection_prefers_degree_without_stats(self):
+        query = QueryGraph.from_edges([(0, 1), (0, 2), (0, 3)],
+                                      node_labels={0: 1, 1: 1, 2: 1, 3: 1})
+        assert select_root(query) == 0
+
+
+class TestMatchingOrder:
+    def test_every_query_edge_gets_an_order(self):
+        query = QueryGraph.from_edges([(0, 1), (1, 2), (2, 0), (1, 3)])
+        tree = QueryTree(query, root=0)
+        orders = build_matching_orders(query, tree)
+        assert set(orders) == {e.index for e in query.edges()}
+
+    def test_steps_cover_all_nodes_exactly_once(self):
+        query = QueryGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)])
+        tree = QueryTree(query, root=0)
+        for edge in query.edges():
+            order = build_matching_order(query, tree, edge)
+            bound = {edge.src, edge.dst}
+            for step in order.steps:
+                assert step.node not in bound, "node bound twice"
+                assert step.anchor in bound, "anchor must already be bound"
+                bound.add(step.node)
+            assert bound == set(query.nodes())
+
+    def test_extension_uses_tree_edges_only(self):
+        query = QueryGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        tree = QueryTree(query, root=0)
+        for order in build_matching_orders(query, tree).values():
+            for step in order.steps:
+                assert tree.is_tree_edge(step.tree_edge_index)
+                assert step.debi_column == tree.tree_edge_for(step.tree_edge_index).column
+
+    def test_verify_edges_listed_for_cycles(self):
+        query = QueryGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        tree = QueryTree(query, root=0)
+        orders = build_matching_orders(query, tree)
+        # Whatever the start edge, the closing (non-tree) edge must be verified
+        # either at a step or at the pinned start.
+        non_tree_index = tree.non_tree_edges[0].index
+        for order in orders.values():
+            mentioned = set(order.start_verify_edges)
+            for step in order.steps:
+                mentioned.update(step.verify_edges)
+            if order.start_edge != non_tree_index:
+                assert non_tree_index in mentioned
+
+    def test_parallel_query_edges_verified_at_start(self):
+        query = QueryGraph.from_edges([(0, 1), (0, 1), (1, 2)])
+        tree = QueryTree(query, root=0)
+        order = build_matching_order(query, tree, query.edge(0))
+        assert 1 in order.start_verify_edges
+
+    def test_path_to_root_comes_first(self):
+        query = chain_query(5)
+        tree = QueryTree(query, root=0)
+        # Start at the far end (3,4): the first steps must walk back to the root.
+        order = build_matching_order(query, tree, query.edge(3))
+        assert [s.node for s in order.steps[:3]] == [2, 1, 0]
+
+
+class TestMaskTable:
+    def test_masked_positions_are_strictly_earlier(self):
+        query = QueryGraph.from_edges([(0, 1), (1, 2), (2, 0), (1, 3)])
+        tree = QueryTree(query, root=0)
+        table = MaskTable(query, tree)
+        for edge in query.edges():
+            mask = table.mask_for(edge.index)
+            assert mask.masked_edges == frozenset(range(edge.index))
+            assert not mask.is_masked(edge.index)
+
+    def test_non_tree_start_requires_no_old_witness(self):
+        query = QueryGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        tree = QueryTree(query, root=0)
+        table = MaskTable(query, tree)
+        non_tree = tree.non_tree_edges[0].index
+        assert table.mask_for(non_tree).require_no_old_witness
+        for tree_edge in tree.tree_edges:
+            assert not table.mask_for(tree_edge.query_edge.index).require_no_old_witness
+
+    def test_as_table_shape(self):
+        query = QueryGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        tree = QueryTree(query, root=0)
+        rows = MaskTable(query, tree).as_table()
+        assert len(rows) == 3 and all(len(r) == 3 for r in rows)
+        assert rows[0][0] == "*"
+        assert rows[2][:2] == ["1", "1"]
+        assert len(MaskTable(query, tree)) == 3

@@ -1,0 +1,117 @@
+"""Unit tests for dual / strong simulation and the DEBI-seeded incremental variant."""
+
+import pytest
+
+from repro.core.engine import MnemonicEngine
+from repro.graph.adjacency import DynamicGraph
+from repro.matchers.simulation import (
+    dual_simulation,
+    dual_simulation_from_debi,
+    query_diameter,
+    strong_simulation,
+)
+from repro.query.query_graph import QueryGraph
+from repro.streams.events import StreamEvent
+
+
+def chain_graph():
+    graph = DynamicGraph()
+    graph.add_edge(1, 2, src_label=0, dst_label=1)
+    graph.add_edge(2, 3, src_label=1, dst_label=2)
+    graph.add_edge(4, 5, src_label=0, dst_label=1)  # dangling A -> B with no B -> C
+    return graph
+
+
+def chain_query():
+    return QueryGraph.from_edges([(0, 1), (1, 2)], node_labels={0: 0, 1: 1, 2: 2})
+
+
+class TestDualSimulation:
+    def test_simple_chain(self):
+        sim = dual_simulation(chain_graph(), chain_query())
+        assert sim[0] == {1}
+        assert sim[1] == {2}
+        assert sim[2] == {3}
+
+    def test_empty_when_pattern_absent(self):
+        graph = DynamicGraph()
+        graph.add_edge(1, 2, src_label=0, dst_label=1)
+        assert dual_simulation(graph, chain_query()) == {}
+
+    def test_dual_condition_prunes_unreachable(self):
+        graph = chain_graph()
+        # Vertex 6 has the right label for query node 2 but no incoming B edge.
+        graph.add_vertex(6, 2)
+        sim = dual_simulation(graph, chain_query())
+        assert 6 not in sim[2]
+
+    def test_simulation_accepts_cycles_smaller_than_query(self):
+        # Classic simulation example: a 2-cycle simulates a longer even cycle query.
+        graph = DynamicGraph()
+        graph.add_edge(1, 2, src_label=0, dst_label=1)
+        graph.add_edge(2, 1, src_label=1, dst_label=0)
+        query = QueryGraph.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0)], node_labels={0: 0, 1: 1, 2: 0, 3: 1}
+        )
+        sim = dual_simulation(graph, query)
+        assert sim and sim[0] == {1} and sim[1] == {2}
+
+    def test_wildcard_labels(self):
+        query = QueryGraph.from_edges([(0, 1)])
+        graph = DynamicGraph()
+        graph.add_edge(7, 8)
+        sim = dual_simulation(graph, query)
+        assert sim[0] == {7} and sim[1] == {8}
+
+
+class TestIncrementalSimulationFromDEBI:
+    def test_matches_from_scratch_after_stream(self):
+        query = chain_query()
+        engine = MnemonicEngine(query)
+        events = [
+            StreamEvent.insert(1, 2, src_label=0, dst_label=1),
+            StreamEvent.insert(2, 3, src_label=1, dst_label=2),
+            StreamEvent.insert(4, 5, src_label=0, dst_label=1),
+            StreamEvent.insert(5, 6, src_label=1, dst_label=2),
+        ]
+        engine.batch_inserts(events)
+        incremental = dual_simulation_from_debi(engine)
+        reference = dual_simulation(engine.graph, query)
+        assert incremental == reference
+
+    def test_matches_after_deletions(self):
+        query = chain_query()
+        engine = MnemonicEngine(query)
+        engine.batch_inserts([
+            StreamEvent.insert(1, 2, src_label=0, dst_label=1),
+            StreamEvent.insert(2, 3, src_label=1, dst_label=2),
+        ])
+        engine.batch_deletes([StreamEvent.delete(2, 3, 0)])
+        assert dual_simulation_from_debi(engine) == {}
+        assert dual_simulation(engine.graph, query) == {}
+
+
+class TestStrongSimulation:
+    def test_query_diameter(self):
+        assert query_diameter(chain_query()) == 2
+        triangle = QueryGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        assert query_diameter(triangle) == 1
+
+    def test_locality_restriction(self):
+        graph = chain_graph()
+        result = strong_simulation(graph, chain_query())
+        assert result, "expected at least one ball with a full match"
+        for centre, relation in result.items():
+            assert relation  # every reported ball has a non-empty dual simulation
+            assert all(matches for matches in relation.values())
+
+    def test_strong_simulation_excludes_far_apart_matches(self):
+        # The pattern exists only when the ball around the centre contains it.
+        graph = DynamicGraph()
+        graph.add_edge(1, 2, src_label=0, dst_label=1)
+        graph.add_edge(2, 3, src_label=1, dst_label=2)
+        result = strong_simulation(graph, chain_query())
+        centres = set(result)
+        assert centres  # centre selection uses the query root heuristic
+        for relation in result.values():
+            assert relation[2] == {3}
