@@ -7,15 +7,22 @@ the enumeration workers), so this benchmark reports *both* backends:
 
 * ``thread`` — faithful pull-based scheduling, expected to stay flat
   around 1x (documented deviation, see EXPERIMENTS.md);
-* ``process`` — forked workers over chunked work units, which is how a
-  Python deployment actually obtains multi-core speedup.
+* ``process`` — a persistent worker pool over a shared-memory snapshot
+  (see ``docs/parallelism.md``), which is how a Python deployment
+  actually obtains multi-core speedup.
 
 The workload is a single large insertion batch of the most
 enumeration-heavy suite so that worker start-up costs are amortised the
-same way the paper's per-query measurement does.
+same way the paper's per-query measurement does.  The speedup
+assertions are aggregate (per-cell thresholds proved flaky on loaded
+hosts) and the multi-core requirement is gated on the cores this
+process may actually use: a single-core CI runner cannot show wall-clock
+speedup for any backend.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -26,6 +33,14 @@ from repro.core.parallel import ParallelConfig
 
 WORKER_COUNTS = (1, 2, 4, 8)
 SUFFIX = 800
+
+
+def _effective_cores() -> int:
+    """Cores this process is allowed to run on (affinity beats cpu_count)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def _pick_query(workload):
@@ -64,9 +79,25 @@ def test_fig13_thread_scaling(benchmark, netflow_workload):
         rows,
     )
     write_result("fig13_thread_scaling", table)
-    # Shape checks: parallel execution must never be catastrophically worse
-    # than serial, and the best parallel configuration should recover at
-    # least the serial throughput (the GIL-free backend is expected to win).
+    # Shape checks: the best parallel configuration should recover at least
+    # the serial throughput, and no backend may collapse on aggregate
+    # (individual cells are too noisy on loaded hosts for a per-cell floor).
     best = max(max(values.values()) for values in speedups.values())
     assert best > 0.9
-    assert all(value > 0.2 for values in speedups.values() for value in values.values())
+    for backend, values in speedups.items():
+        mean = sum(values.values()) / len(values)
+        assert mean > 0.5, f"{backend} backend collapsed: {values}"
+    # The shared-memory process backend must turn real cores into real
+    # speedup (the paper's Figure 13 claim).  Gated on affinity: with one
+    # usable core no backend can beat serial wall-clock.
+    cores = _effective_cores()
+    if cores >= 4:
+        assert speedups["process"][4] >= 1.5, (
+            f"shared-memory backend too slow on {cores} cores: {speedups['process']}"
+        )
+    elif cores >= 2:
+        # Same tolerance as the "best > 0.9" check: publication + IPC noise
+        # on a loaded 2-core host must not fail a healthy backend.
+        assert speedups["process"][2] >= 0.9, (
+            f"shared-memory backend slower than serial on {cores} cores: {speedups['process']}"
+        )

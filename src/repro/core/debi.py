@@ -76,6 +76,41 @@ class DEBI:
     def root_count(self) -> int:
         return self._roots.count()
 
+    # ------------------------------------------------------------------ buffer export / attach
+    def export_buffers(self) -> dict:
+        """Export the index as raw word buffers plus their geometry.
+
+        The returned arrays alias this DEBI's storage (no copy); the
+        shared-memory layer copies them into a segment and worker processes
+        rebuild a read-only DEBI with :meth:`attach_buffers`.
+        """
+        rows, num_rows = self._bits.export_words()
+        roots, root_bits = self._roots.export_words()
+        return {
+            "rows": rows,
+            "num_rows": num_rows,
+            "width": self._bits.width,
+            "roots": roots,
+            "root_bits": root_bits,
+        }
+
+    @classmethod
+    def attach_buffers(
+        cls,
+        tree: QueryTree,
+        rows,
+        num_rows: int,
+        width: int,
+        roots,
+        root_bits: int,
+    ) -> "DEBI":
+        """Rebuild a read-only DEBI over exported word buffers (zero-copy)."""
+        debi = cls.__new__(cls)
+        debi.tree = tree
+        debi._bits = BitMatrix.from_words(rows, width=width, nrows=num_rows)
+        debi._roots = BitVector.from_words(roots, nbits=root_bits)
+        return debi
+
     # ------------------------------------------------------------------ bulk
     def reset(self) -> None:
         """Periodic reset: drop every bit (the paper's index rebuild point)."""

@@ -16,15 +16,26 @@ resets, and disk spill of old edges + DEBI rows through
 
 from __future__ import annotations
 
+import weakref
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.api import DefaultMatchDefinition, MatchDefinition
 from repro.core.debi import DEBI
-from repro.core.enumeration import EnumerationContext, WorkUnit, decompose_batch
+from repro.core.enumeration import (
+    EnumerationContext,
+    QueryState,
+    WorkUnit,
+    decompose_batch,
+)
 from repro.core.filtering import IndexManager
-from repro.core.parallel import EnumerationOutcome, ParallelConfig, run_enumeration
+from repro.core.parallel import (
+    EnumerationOutcome,
+    ParallelConfig,
+    SharedMemoryPool,
+    run_enumeration,
+)
 from repro.core.results import Embedding, ResultSet
 from repro.graph.adjacency import DynamicGraph
 from repro.graph.external import ExternalEdgeStore
@@ -178,6 +189,52 @@ class MnemonicEngine:
         self.timer = Timer()
         self._snapshot_counter = 0
 
+        # --- persistent parallel enumeration pool (process backend).
+        # Spawned once per engine lifetime; each batch republishes the
+        # snapshot into shared memory instead of re-forking workers.
+        self.query_state = QueryState.build(
+            query=self.query,
+            tree=self.tree,
+            orders=self.orders,
+            masks=self.masks,
+            match_def=self.match_def,
+            use_degree_filter=self.config.use_degree_filter,
+        )
+        # With an external edge store every context carries spill callbacks
+        # the pool cannot ship across processes, so the pool would never be
+        # used — don't spawn idle workers for that configuration.
+        self._pool = (
+            None
+            if self.external_store is not None
+            else SharedMemoryPool.create(self.query_state, self.config.parallel)
+        )
+        self._pool_finalizer = (
+            weakref.finalize(self, SharedMemoryPool.close, self._pool)
+            if self._pool is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Release engine resources (the parallel worker pool, if any).
+
+        Idempotent; engines are also cleaned up on garbage collection,
+        but long-lived applications should close explicitly (or use the
+        engine as a context manager) so worker processes do not outlive
+        their usefulness.
+        """
+        if self._pool is not None:
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "MnemonicEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ initialisation API
     def initialize_stream(self, source: StreamSource | Sequence[StreamEvent]) -> SnapshotGenerator:
         """Wrap ``source`` in a snapshot generator using the engine's stream config."""
@@ -260,14 +317,17 @@ class MnemonicEngine:
 
         context = self._make_context(batch_edge_ids=set(new_ids), positive=True)
         units = decompose_batch(context, new_ids)
-        outcome = run_enumeration(context, units, self.config.parallel)
+        outcome = run_enumeration(
+            context, units, self.config.parallel,
+            pool=self._pool, collect=self.config.collect_embeddings,
+        )
         enum_end = _time.perf_counter()
 
         result.filter_traversals += frontier.traversed_edges
         result.work_units += len(units)
         result.filter_seconds += filter_end - start
         result.enumerate_seconds += enum_end - filter_end
-        result.num_positive += len(outcome.embeddings)
+        result.num_positive += outcome.num_embeddings
         result.enumeration_outcomes.append(outcome)
         if self.config.collect_embeddings:
             result.positive_embeddings.extend(outcome.embeddings)
@@ -325,7 +385,10 @@ class MnemonicEngine:
         # Enumerate the embeddings about to be destroyed, before mutating anything.
         context = self._make_context(batch_edge_ids=set(doomed_ids), positive=False)
         units = decompose_batch(context, doomed_ids)
-        outcome = run_enumeration(context, units, self.config.parallel)
+        outcome = run_enumeration(
+            context, units, self.config.parallel,
+            pool=self._pool, collect=self.config.collect_embeddings,
+        )
         enum_end = _time.perf_counter()
 
         # Apply the deletions and update DEBI bottom-up / top-down.
@@ -344,7 +407,7 @@ class MnemonicEngine:
         result.filter_seconds += filter_end - enum_end
         result.filter_traversals += frontier.traversed_edges
         result.work_units += len(units)
-        result.num_negative += len(outcome.embeddings)
+        result.num_negative += outcome.num_embeddings
         result.enumeration_outcomes.append(outcome)
         if self.config.collect_embeddings:
             result.negative_embeddings.extend(outcome.embeddings)
@@ -436,6 +499,6 @@ def enumerate_static(
     every embedding exactly once; tests use this as the ground truth that
     incremental runs are compared against.
     """
-    engine = MnemonicEngine(query, match_def=match_def, config=config)
-    result = engine.batch_inserts(list(edges))
+    with MnemonicEngine(query, match_def=match_def, config=config) as engine:
+        result = engine.batch_inserts(list(edges))
     return result.positive_embeddings

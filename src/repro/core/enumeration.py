@@ -17,7 +17,7 @@ by exactly one work unit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
 from repro.core.api import MatchDefinition
@@ -26,7 +26,7 @@ from repro.core.results import Embedding
 from repro.graph.adjacency import DynamicGraph
 from repro.query.masking import Mask, MaskTable
 from repro.query.matching_order import ExtensionStep, MatchingOrder
-from repro.query.query_graph import QueryGraph
+from repro.query.query_graph import QueryGraph, WILDCARD_LABEL
 from repro.query.query_tree import QueryTree
 
 
@@ -157,6 +157,127 @@ class EnumerationContext:
     def _note_access(self, edge_id: int) -> None:
         if self.on_spilled_access is not None and edge_id in self.spilled_edge_ids:
             self.on_spilled_access(edge_id)
+
+
+def degree_requirements_ok(
+    graph, out_requirements: dict, in_requirements: dict, vertex: int, query_node: int
+) -> bool:
+    """The paper's f2/f3 rule: the data vertex's per-label degrees must
+    cover the query node's requirements.
+
+    Shared by the live-graph path
+    (:meth:`~repro.core.filtering.IndexManager.degree_ok`) and the
+    worker-side :class:`ArrayDegreeFilter`, so both backends prune
+    identically by construction.
+    """
+    for label, needed in out_requirements[query_node].items():
+        if label == WILDCARD_LABEL:
+            if graph.out_degree(vertex) < needed:
+                return False
+        elif graph.out_label_degree(vertex, label) < needed:
+            return False
+    for label, needed in in_requirements[query_node].items():
+        if label == WILDCARD_LABEL:
+            if graph.in_degree(vertex) < needed:
+                return False
+        elif graph.in_label_degree(vertex, label) < needed:
+            return False
+    return True
+
+
+class ArrayDegreeFilter:
+    """The f2/f3 label-degree check over an array-view graph, memoised.
+
+    Worker processes cannot call the parent's
+    :meth:`~repro.core.filtering.IndexManager.degree_ok` (it closes over
+    live parent objects), so they rebuild the same predicate from the
+    per-query-node label requirements and the attached
+    :class:`~repro.graph.adjacency.CSRGraphView`.  The view computes
+    label degrees by scanning an adjacency slice, so results are memoised
+    per ``(vertex, query node)`` pair — candidate vertices repeat heavily
+    within a batch.
+    """
+
+    def __init__(self, graph, out_requirements: dict, in_requirements: dict) -> None:
+        self._graph = graph
+        self._out_req = out_requirements
+        self._in_req = in_requirements
+        self._memo: dict[tuple[int, int], bool] = {}
+
+    def __call__(self, vertex: int, query_node: int) -> bool:
+        key = (vertex, query_node)
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = degree_requirements_ok(
+                self._graph, self._out_req, self._in_req, vertex, query_node
+            )
+            self._memo[key] = cached
+        return cached
+
+
+@dataclass
+class QueryState:
+    """The picklable query-side half of an engine, shipped to pool workers once.
+
+    Everything here is fixed for the engine's lifetime (the query and its
+    precomputation), so the persistent pool sends it a single time at
+    spawn; per-batch messages then carry only the shared-memory snapshot
+    descriptor and work-unit arrays.  :meth:`make_context` is the
+    worker-side factory that combines this state with the attached
+    array views into a ready-to-enumerate :class:`EnumerationContext`.
+    """
+
+    query: QueryGraph
+    tree: QueryTree
+    orders: dict[int, MatchingOrder]
+    masks: MaskTable
+    match_def: MatchDefinition
+    use_degree_filter: bool = True
+    out_requirements: dict = field(default_factory=dict)
+    in_requirements: dict = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        query: QueryGraph,
+        tree: QueryTree,
+        orders: dict[int, MatchingOrder],
+        masks: MaskTable,
+        match_def: MatchDefinition,
+        use_degree_filter: bool,
+    ) -> "QueryState":
+        return cls(
+            query=query,
+            tree=tree,
+            orders=orders,
+            masks=masks,
+            match_def=match_def,
+            use_degree_filter=use_degree_filter,
+            out_requirements={u: query.out_label_requirement(u) for u in query.nodes()},
+            in_requirements={u: query.in_label_requirement(u) for u in query.nodes()},
+        )
+
+    def make_context(
+        self, graph, debi: DEBI, batch_edge_ids: set[int], positive: bool
+    ) -> EnumerationContext:
+        """Build an array-view enumeration context for one published snapshot."""
+        degree_filter = None
+        if self.use_degree_filter and self.match_def.injective:
+            degree_filter = ArrayDegreeFilter(
+                graph, self.out_requirements, self.in_requirements
+            )
+        return EnumerationContext(
+            query=self.query,
+            tree=self.tree,
+            graph=graph,
+            debi=debi,
+            orders=self.orders,
+            masks=self.masks,
+            match_def=self.match_def,
+            batch_edge_ids=batch_edge_ids,
+            positive=positive,
+            degree_filter=degree_filter,
+        )
 
 
 # ---------------------------------------------------------------------- work decomposition

@@ -23,10 +23,11 @@ from __future__ import annotations
 
 from repro.core.api import MatchDefinition
 from repro.core.debi import DEBI
+from repro.core.enumeration import degree_requirements_ok
 from repro.core.frontier import UnifiedFrontier
 from repro.graph.adjacency import DynamicGraph
 from repro.graph.edge import EdgeRecord
-from repro.query.query_graph import QueryGraph, WILDCARD_LABEL
+from repro.query.query_graph import QueryGraph
 from repro.query.query_tree import QueryTree, TreeEdge
 
 
@@ -103,19 +104,9 @@ class IndexManager:
         """The paper's f2/f3 check: per-label degree of the data vertex must cover the query node's."""
         if not self.use_degree_filter:
             return True
-        for label, needed in self._out_req[query_node].items():
-            if label == WILDCARD_LABEL:
-                if self.graph.out_degree(vertex) < needed:
-                    return False
-            elif self.graph.out_label_degree(vertex, label) < needed:
-                return False
-        for label, needed in self._in_req[query_node].items():
-            if label == WILDCARD_LABEL:
-                if self.graph.in_degree(vertex) < needed:
-                    return False
-            elif self.graph.in_label_degree(vertex, label) < needed:
-                return False
-        return True
+        return degree_requirements_ok(
+            self.graph, self._out_req, self._in_req, vertex, query_node
+        )
 
     def _bit_should_be_set(self, record: EdgeRecord, tree_edge: TreeEdge) -> bool:
         """Evaluate the DEBI definition for one (edge, column) pair.

@@ -1,0 +1,237 @@
+"""Shared-memory snapshot publication for the persistent worker pool.
+
+The shared-memory ``process`` backend (see :mod:`repro.core.parallel`)
+keeps one pool of worker processes alive for the whole engine lifetime.
+Instead of re-forking per batch and pickling the engine state, the
+parent *publishes* the current snapshot before each enumeration call:
+
+* the :class:`~repro.graph.adjacency.DynamicGraph` is exported as flat
+  CSR numpy arrays (:meth:`DynamicGraph.export_csr`),
+* DEBI's :class:`~repro.utils.bitset.BitMatrix` / ``BitVector`` word
+  buffers are exported raw (:meth:`DEBI.export_buffers`),
+* the batch edge-id set joins them as one more int64 array,
+
+and all of them are memcpy'd into a single
+``multiprocessing.shared_memory`` segment.  Workers receive only a small
+*descriptor* (segment name + per-array dtype/shape/offset + epoch) and
+attach zero-copy numpy views over the segment — no object
+deserialisation on the hot path.
+
+Segment lifecycle
+-----------------
+:class:`SharedSnapshotWriter` (parent side) reuses one segment across
+batches, growing it geometrically when a snapshot outgrows the current
+capacity.  Each publication bumps an *epoch*; a worker's
+:class:`SnapshotAttachment` caches its attachment and numpy views per
+epoch and re-attaches only when the segment was replaced.  On POSIX an
+unlinked segment stays mapped until the last attachment closes, so the
+parent can safely replace the segment while workers still hold the old
+one.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.debi import DEBI
+    from repro.graph.adjacency import CSRSnapshot, DynamicGraph
+
+
+def shared_memory_available() -> bool:
+    """Can ``multiprocessing.shared_memory`` be used on this platform?"""
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def disable_shm_resource_tracking() -> None:
+    """Stop this process's resource tracker from adopting attached segments.
+
+    Must be called once at worker start-up.  On Python < 3.13 every
+    ``SharedMemory`` attach registers the segment with the process's
+    resource tracker, which then "cleans it up" (unlinks it and warns)
+    when the worker exits — even though the parent still owns it.  The
+    parent remains the sole owner and unlinks segments itself.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+
+        def register(name, rtype):  # pragma: no cover - runs in worker processes
+            if rtype == "shared_memory":
+                return
+            original_register(name, rtype)
+
+        resource_tracker.register = register
+    except Exception:  # pragma: no cover - tracker layout changed
+        pass
+
+
+def _align(offset: int, alignment: int = 8) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+class SharedSnapshotWriter:
+    """Parent-side publisher: copies snapshot arrays into one shm segment."""
+
+    def __init__(self) -> None:
+        self._shm = None
+        self._epoch = 0
+
+    # ------------------------------------------------------------------ publication
+    def publish(
+        self,
+        graph: "DynamicGraph",
+        debi: "DEBI",
+        batch_edge_ids,
+        positive: bool,
+    ) -> dict:
+        """Copy the current snapshot into shared memory; return its descriptor.
+
+        The descriptor is a small picklable dict: segment name, epoch, the
+        layout of every array (dtype / shape / byte offset) and the scalar
+        metadata workers need to rebuild graph + DEBI views.
+        """
+        csr = graph.export_csr()
+        debi_buffers = debi.export_buffers()
+        arrays = dict(csr.arrays())
+        arrays["debi_rows"] = debi_buffers["rows"]
+        arrays["debi_roots"] = debi_buffers["roots"]
+        arrays["batch_edges"] = np.fromiter(
+            batch_edge_ids, dtype=np.int64, count=len(batch_edge_ids)
+        )
+
+        layout: dict[str, tuple[str, tuple[int, ...], int]] = {}
+        offset = 0
+        for key, arr in arrays.items():
+            offset = _align(offset)
+            layout[key] = (arr.dtype.str, arr.shape, offset)
+            offset += arr.nbytes
+        total = max(offset, 1)
+
+        if self._shm is None or self._shm.size < total:
+            self._replace_segment(total)
+        buf = self._shm.buf
+        for key, arr in arrays.items():
+            dtype, shape, off = layout[key]
+            dest = np.ndarray(shape, dtype=dtype, buffer=buf, offset=off)
+            dest[:] = arr
+
+        self._epoch += 1
+        return {
+            "name": self._shm.name,
+            "epoch": self._epoch,
+            "layout": layout,
+            "num_live_edges": csr.num_live_edges,
+            "debi_num_rows": debi_buffers["num_rows"],
+            "debi_width": debi_buffers["width"],
+            "debi_root_bits": debi_buffers["root_bits"],
+            "positive": positive,
+        }
+
+    def _replace_segment(self, needed: int) -> None:
+        from multiprocessing import shared_memory
+
+        self.close()
+        # 1.5x slack so steadily growing graphs do not reallocate every batch.
+        capacity = max(needed + needed // 2, 4096)
+        name = f"mnemonic_{secrets.token_hex(6)}"
+        self._shm = shared_memory.SharedMemory(name=name, create=True, size=capacity)
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Unlink the current segment (workers keep their mappings until they detach)."""
+        if self._shm is not None:
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+                pass
+            self._shm = None
+
+
+class SnapshotAttachment:
+    """Worker-side attachment: rebuild graph / DEBI views from a descriptor.
+
+    Caches the attachment and the derived views per epoch so that many
+    work-unit chunks of the same batch pay the attach + view construction
+    cost once.
+    """
+
+    def __init__(self) -> None:
+        self._shm = None
+        self._name: str | None = None
+        self._epoch: int | None = None
+        self._views: tuple | None = None
+
+    def views(self, descriptor: dict, tree) -> tuple:
+        """Return ``(graph_view, debi, batch_edge_ids)`` for ``descriptor``."""
+        if descriptor["epoch"] == self._epoch and self._views is not None:
+            return self._views
+        from multiprocessing import shared_memory
+
+        from repro.core.debi import DEBI
+        from repro.graph.adjacency import CSRGraphView, CSRSnapshot
+
+        if descriptor["name"] != self._name:
+            self.detach()
+            self._shm = shared_memory.SharedMemory(name=descriptor["name"])
+            self._name = descriptor["name"]
+
+        buf = self._shm.buf
+        arrays: dict[str, np.ndarray] = {}
+        for key, (dtype, shape, offset) in descriptor["layout"].items():
+            view = np.ndarray(shape, dtype=dtype, buffer=buf, offset=offset)
+            view.flags.writeable = False
+            arrays[key] = view
+
+        csr = CSRSnapshot(
+            vertex_ids=arrays["vertex_ids"],
+            vertex_labels=arrays["vertex_labels"],
+            out_indptr=arrays["out_indptr"],
+            out_indices=arrays["out_indices"],
+            in_indptr=arrays["in_indptr"],
+            in_indices=arrays["in_indices"],
+            edge_src=arrays["edge_src"],
+            edge_dst=arrays["edge_dst"],
+            edge_label=arrays["edge_label"],
+            edge_timestamp=arrays["edge_timestamp"],
+            edge_alive=arrays["edge_alive"],
+            num_live_edges=descriptor["num_live_edges"],
+        )
+        graph_view = CSRGraphView(csr)
+        debi = DEBI.attach_buffers(
+            tree,
+            rows=arrays["debi_rows"],
+            num_rows=descriptor["debi_num_rows"],
+            width=descriptor["debi_width"],
+            roots=arrays["debi_roots"],
+            root_bits=descriptor["debi_root_bits"],
+        )
+        batch_edge_ids = set(arrays["batch_edges"].tolist())
+        self._epoch = descriptor["epoch"]
+        self._views = (graph_view, debi, batch_edge_ids)
+        return self._views
+
+    def detach(self) -> None:
+        """Drop the cached views and close the segment mapping."""
+        self._views = None
+        self._epoch = None
+        self._name = None
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except OSError:  # pragma: no cover - mapping already gone
+                pass
+            self._shm = None

@@ -19,7 +19,10 @@ This is the data-graph storage layer described in Section II-A and the
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+from dataclasses import dataclass
 from typing import Iterable, Iterator
+
+import numpy as np
 
 from repro.graph.edge import EdgeRecord, EdgeTriple
 from repro.graph.stats import PlaceholderStats
@@ -296,8 +299,245 @@ class DynamicGraph:
         clone._num_live_edges = self._num_live_edges
         return clone
 
+    # ------------------------------------------------------------------ flat-array export
+    def export_csr(self) -> "CSRSnapshot":
+        """Export the live graph as flat CSR numpy arrays.
+
+        The arrays are the transport format of the shared-memory parallel
+        backend (see :mod:`repro.core.shared_snapshot`): they can be copied
+        into a ``multiprocessing.shared_memory`` segment with one memcpy
+        each and re-attached zero-copy in worker processes, where
+        :class:`CSRGraphView` turns them back into the read API of this
+        class.  Adjacency-list order is preserved, so a view enumerates
+        candidates in the same order as the live graph.
+        """
+        vertex_ids = list(self._vertex_labels)
+        num_vertices = len(vertex_ids)
+
+        def build_csr(adj: dict[int, list[int]]) -> tuple[np.ndarray, np.ndarray]:
+            indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+            for i, vid in enumerate(vertex_ids):
+                indptr[i + 1] = indptr[i] + len(adj.get(vid, ()))
+            indices = np.fromiter(
+                (eid for vid in vertex_ids for eid in adj.get(vid, ())),
+                dtype=np.int64,
+                count=int(indptr[-1]),
+            )
+            return indptr, indices
+
+        out_indptr, out_indices = build_csr(self._out)
+        in_indptr, in_indices = build_csr(self._in)
+        return CSRSnapshot(
+            vertex_ids=np.array(vertex_ids, dtype=np.int64),
+            vertex_labels=np.fromiter(
+                self._vertex_labels.values(), dtype=np.int64, count=num_vertices
+            ),
+            out_indptr=out_indptr,
+            out_indices=out_indices,
+            in_indptr=in_indptr,
+            in_indices=in_indices,
+            edge_src=np.array(self._src, dtype=np.int64),
+            edge_dst=np.array(self._dst, dtype=np.int64),
+            edge_label=np.array(self._label, dtype=np.int64),
+            edge_timestamp=np.array(self._timestamp, dtype=np.float64),
+            edge_alive=np.array(self._alive, dtype=np.uint8),
+            num_live_edges=self._num_live_edges,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"DynamicGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"placeholders={self.num_placeholders})"
+        )
+
+
+@dataclass(frozen=True)
+class CSRSnapshot:
+    """A :class:`DynamicGraph` frozen into flat numpy arrays.
+
+    ``out_indptr``/``out_indices`` (and the ``in_`` pair) are standard CSR:
+    the live out-edge ids of the ``i``-th vertex of ``vertex_ids`` are
+    ``out_indices[out_indptr[i]:out_indptr[i + 1]]``.  The ``edge_*``
+    columns are indexed by edge id and cover every placeholder (live or
+    dead); ``edge_alive`` disambiguates.
+    """
+
+    vertex_ids: np.ndarray  #: int64 [V] — vertex ids in insertion order
+    vertex_labels: np.ndarray  #: int64 [V]
+    out_indptr: np.ndarray  #: int64 [V + 1]
+    out_indices: np.ndarray  #: int64 [live out-edges]
+    in_indptr: np.ndarray  #: int64 [V + 1]
+    in_indices: np.ndarray  #: int64 [live in-edges]
+    edge_src: np.ndarray  #: int64 [placeholders]
+    edge_dst: np.ndarray  #: int64 [placeholders]
+    edge_label: np.ndarray  #: int64 [placeholders]
+    edge_timestamp: np.ndarray  #: float64 [placeholders]
+    edge_alive: np.ndarray  #: uint8 [placeholders]
+    num_live_edges: int
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """The array fields keyed by name (the shared-memory publication set)."""
+        return {
+            "vertex_ids": self.vertex_ids,
+            "vertex_labels": self.vertex_labels,
+            "out_indptr": self.out_indptr,
+            "out_indices": self.out_indices,
+            "in_indptr": self.in_indptr,
+            "in_indices": self.in_indices,
+            "edge_src": self.edge_src,
+            "edge_dst": self.edge_dst,
+            "edge_label": self.edge_label,
+            "edge_timestamp": self.edge_timestamp,
+            "edge_alive": self.edge_alive,
+        }
+
+
+_EMPTY_IDS: list[int] = []
+
+
+class CSRGraphView:
+    """Read-only :class:`DynamicGraph` lookalike over :class:`CSRSnapshot` arrays.
+
+    Worker processes build one per published snapshot.  The snapshot
+    arrays are zero-copy views into the shared-memory segment; because
+    the backtracking enumerator is a pure-Python loop, the view converts
+    what it touches into plain Python ints (numpy scalars are ~3x slower
+    to index, hash and compare there).  Adjacency slices are converted
+    lazily per vertex — a worker only materialises the neighbourhoods
+    its work units actually visit — while the edge scalar columns are
+    converted once up front because the hot loop indexes them by
+    arbitrary edge id.  Mutating methods are intentionally absent.
+    """
+
+    def __init__(self, snapshot: CSRSnapshot) -> None:
+        self._snapshot = snapshot
+        ids = snapshot.vertex_ids.tolist()
+        self._position = {vid: i for i, vid in enumerate(ids)}
+        self._vertex_ids = ids
+        self._vertex_label_list = snapshot.vertex_labels.tolist()
+        self._out_indptr = snapshot.out_indptr.tolist()
+        self._in_indptr = snapshot.in_indptr.tolist()
+        self._out_indices = snapshot.out_indices
+        self._in_indices = snapshot.in_indices
+        self._out_cache: dict[int, list[int]] = {}
+        self._in_cache: dict[int, list[int]] = {}
+        self._src = snapshot.edge_src.tolist()
+        self._dst = snapshot.edge_dst.tolist()
+        self._label = snapshot.edge_label.tolist()
+        self._timestamp = snapshot.edge_timestamp.tolist()
+        self._alive = snapshot.edge_alive.tolist()
+
+    # ------------------------------------------------------------------ vertices
+    def has_vertex(self, vertex: int) -> bool:
+        return vertex in self._position
+
+    def vertex_label(self, vertex: int) -> int:
+        pos = self._position.get(vertex)
+        return 0 if pos is None else self._vertex_label_list[pos]
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._vertex_ids)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertex_ids)
+
+    # ------------------------------------------------------------------ edges
+    def edge(self, edge_id: int) -> EdgeRecord:
+        if not self.is_alive(edge_id):
+            raise GraphError(f"edge id {edge_id} is not a live edge")
+        return EdgeRecord(
+            edge_id,
+            self._src[edge_id],
+            self._dst[edge_id],
+            self._label[edge_id],
+            self._timestamp[edge_id],
+        )
+
+    def is_alive(self, edge_id: int) -> bool:
+        return 0 <= edge_id < len(self._src) and bool(self._alive[edge_id])
+
+    def out_edges(self, vertex: int) -> list[int]:
+        """Edge ids of live edges leaving ``vertex`` (do not mutate)."""
+        edges = self._out_cache.get(vertex)
+        if edges is None:
+            pos = self._position.get(vertex)
+            if pos is None:
+                return _EMPTY_IDS
+            edges = self._out_indices[
+                self._out_indptr[pos] : self._out_indptr[pos + 1]
+            ].tolist()
+            self._out_cache[vertex] = edges
+        return edges
+
+    def in_edges(self, vertex: int) -> list[int]:
+        """Edge ids of live edges entering ``vertex`` (do not mutate)."""
+        edges = self._in_cache.get(vertex)
+        if edges is None:
+            pos = self._position.get(vertex)
+            if pos is None:
+                return _EMPTY_IDS
+            edges = self._in_indices[
+                self._in_indptr[pos] : self._in_indptr[pos + 1]
+            ].tolist()
+            self._in_cache[vertex] = edges
+        return edges
+
+    def incident_edges(self, vertex: int) -> Iterator[int]:
+        yield from self.out_edges(vertex)
+        yield from self.in_edges(vertex)
+
+    def out_degree(self, vertex: int) -> int:
+        pos = self._position.get(vertex)
+        if pos is None:
+            return 0
+        return self._out_indptr[pos + 1] - self._out_indptr[pos]
+
+    def in_degree(self, vertex: int) -> int:
+        pos = self._position.get(vertex)
+        if pos is None:
+            return 0
+        return self._in_indptr[pos + 1] - self._in_indptr[pos]
+
+    def degree(self, vertex: int) -> int:
+        return self.out_degree(vertex) + self.in_degree(vertex)
+
+    def out_label_degree(self, vertex: int, label: int) -> int:
+        labels = self._label
+        return sum(1 for e in self.out_edges(vertex) if labels[e] == label)
+
+    def in_label_degree(self, vertex: int, label: int) -> int:
+        labels = self._label
+        return sum(1 for e in self.in_edges(vertex) if labels[e] == label)
+
+    def edges(self) -> Iterator[EdgeRecord]:
+        for edge_id, alive in enumerate(self._alive):
+            if alive:
+                yield EdgeRecord(
+                    edge_id,
+                    self._src[edge_id],
+                    self._dst[edge_id],
+                    self._label[edge_id],
+                    self._timestamp[edge_id],
+                )
+
+    def find_edges(self, src: int, dst: int, label: int | None = None) -> list[int]:
+        dsts = self._dst
+        if label is None:
+            return [e for e in self.out_edges(src) if dsts[e] == dst]
+        labels = self._label
+        return [e for e in self.out_edges(src) if dsts[e] == dst and labels[e] == label]
+
+    @property
+    def num_edges(self) -> int:
+        return self._snapshot.num_live_edges
+
+    @property
+    def num_placeholders(self) -> int:
+        return len(self._src)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CSRGraphView(|V|={self.num_vertices}, |E|={self.num_edges}, "
             f"placeholders={self.num_placeholders})"
         )

@@ -100,6 +100,29 @@ class BitVector:
     def __contains__(self, index: int) -> bool:
         return self.get(index)
 
+    # -- buffer export / attach ---------------------------------------------
+    def export_words(self) -> tuple[np.ndarray, int]:
+        """Return ``(words, nbits)`` where ``words`` is a view of the live words.
+
+        ``words`` aliases this vector's storage (no copy); callers copy it
+        into a shared-memory segment and re-attach with :meth:`from_words`.
+        """
+        nwords = (self._nbits + _WORD_BITS - 1) // _WORD_BITS
+        return self._words[:nwords], self._nbits
+
+    @classmethod
+    def from_words(cls, words: np.ndarray, nbits: int) -> "BitVector":
+        """Wrap an existing uint64 word buffer (zero-copy attach).
+
+        The result is a *read-mostly* view: reads are exact, but writing a
+        bit beyond the buffer would silently reallocate private storage, so
+        attached vectors must be treated as read-only.
+        """
+        vec = cls.__new__(cls)
+        vec._words = np.asarray(words, dtype=np.uint64)
+        vec._nbits = nbits
+        return vec
+
     def iter_set(self):
         """Yield the indexes of all set bits in increasing order."""
         nonzero_words = np.nonzero(self._words)[0]
@@ -200,6 +223,30 @@ class BitMatrix:
     def row_any(self, row: int) -> bool:
         """Return True if any bit of ``row`` is set."""
         return self.get_row(row) != 0
+
+    # -- buffer export / attach ---------------------------------------------
+    def export_words(self) -> tuple[np.ndarray, int]:
+        """Return ``(rows, nrows)`` where ``rows`` is a view of the live rows.
+
+        ``rows`` aliases this matrix's storage (no copy); callers copy it
+        into a shared-memory segment and re-attach with :meth:`from_words`.
+        """
+        return self._rows[: self._nrows], self._nrows
+
+    @classmethod
+    def from_words(cls, rows: np.ndarray, width: int, nrows: int | None = None) -> "BitMatrix":
+        """Wrap an existing uint64 row buffer (zero-copy attach).
+
+        Like :meth:`BitVector.from_words`, the attached matrix must be
+        treated as read-only: writing a row beyond the buffer reallocates
+        private storage and severs the aliasing.
+        """
+        check_positive(width, "width")
+        matrix = cls.__new__(cls)
+        matrix.width = width
+        matrix._rows = np.asarray(rows, dtype=np.uint64)
+        matrix._nrows = len(matrix._rows) if nrows is None else nrows
+        return matrix
 
     # -- bulk operations ----------------------------------------------------
     def filter_rows_with_column(self, rows, col: int) -> list[int]:

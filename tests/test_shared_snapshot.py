@@ -1,0 +1,288 @@
+"""Tests for the shared-memory snapshot layer and the persistent pool.
+
+Covers the satellite requirements of the shared-memory refactor:
+attach/detach round-trips of the CSR graph export and the DEBI buffers,
+pool reuse across engine batches, and graceful fallback when
+``multiprocessing.shared_memory`` is unavailable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.debi import DEBI
+from repro.core.engine import EngineConfig, MnemonicEngine
+from repro.core.parallel import (
+    ParallelConfig,
+    SharedMemoryPool,
+    _pack_embeddings,
+    _unpack_embeddings,
+)
+from repro.core.results import Embedding
+from repro.core.shared_snapshot import SharedSnapshotWriter, SnapshotAttachment
+from repro.datasets import NetFlowConfig, generate_netflow_stream, graph_from_events
+from repro.graph.adjacency import CSRGraphView, DynamicGraph
+from repro.query.generator import QueryGenerator
+from repro.query.query_graph import QueryGraph
+from repro.query.query_tree import QueryTree
+from repro.streams.config import StreamConfig
+from repro.utils.bitset import BitMatrix, BitVector
+
+
+def small_graph() -> DynamicGraph:
+    """A graph with deletions, so placeholders and live edges diverge."""
+    graph = DynamicGraph()
+    graph.add_edge(1, 2, label=7, timestamp=1.0, src_label=1, dst_label=2)
+    graph.add_edge(2, 3, label=8, timestamp=2.0, dst_label=3)
+    graph.add_edge(2, 3, label=8, timestamp=3.0)  # parallel edge
+    graph.add_edge(3, 1, label=9, timestamp=4.0)
+    doomed = graph.add_edge(1, 3, label=7, timestamp=5.0)
+    graph.delete_edge(doomed)
+    return graph
+
+
+def view_of(graph: DynamicGraph) -> CSRGraphView:
+    return CSRGraphView(graph.export_csr())
+
+
+class TestCSRExportRoundTrip:
+    def test_vertices_and_labels(self):
+        graph = small_graph()
+        view = view_of(graph)
+        assert set(view.vertices()) == set(graph.vertices())
+        assert view.num_vertices == graph.num_vertices
+        for v in graph.vertices():
+            assert view.vertex_label(v) == graph.vertex_label(v)
+        assert not view.has_vertex(99)
+        assert view.vertex_label(99) == 0
+
+    def test_adjacency_preserved(self):
+        graph = small_graph()
+        view = view_of(graph)
+        for v in graph.vertices():
+            assert list(view.out_edges(v)) == list(graph.out_edges(v))
+            assert list(view.in_edges(v)) == list(graph.in_edges(v))
+            assert list(view.incident_edges(v)) == list(graph.incident_edges(v))
+            assert view.out_degree(v) == graph.out_degree(v)
+            assert view.in_degree(v) == graph.in_degree(v)
+
+    def test_edge_records_and_liveness(self):
+        graph = small_graph()
+        view = view_of(graph)
+        assert view.num_edges == graph.num_edges
+        assert view.num_placeholders == graph.num_placeholders
+        for record in graph.edges():
+            assert view.edge(record.edge_id) == record
+        dead = [i for i in range(graph.num_placeholders) if not graph.is_alive(i)]
+        assert dead, "fixture should contain a dead placeholder"
+        for edge_id in dead:
+            assert not view.is_alive(edge_id)
+            with pytest.raises(Exception):
+                view.edge(edge_id)
+        assert [r for r in view.edges()] == [r for r in graph.edges()]
+
+    def test_find_edges_and_label_degrees(self):
+        graph = small_graph()
+        view = view_of(graph)
+        assert view.find_edges(2, 3) == graph.find_edges(2, 3)
+        assert view.find_edges(2, 3, label=8) == graph.find_edges(2, 3, label=8)
+        assert view.find_edges(2, 3, label=99) == []
+        for v in graph.vertices():
+            for label in (7, 8, 9, 99):
+                assert view.out_label_degree(v, label) == graph.out_label_degree(v, label)
+                assert view.in_label_degree(v, label) == graph.in_label_degree(v, label)
+
+
+class TestBitsetBufferRoundTrip:
+    def test_bitvector_export_attach(self):
+        vec = BitVector(initial_capacity=8)
+        for i in (0, 3, 64, 200):
+            vec.set(i)
+        words, nbits = vec.export_words()
+        clone = BitVector.from_words(words.copy(), nbits)
+        assert clone.to_set() == vec.to_set()
+        assert len(clone) == len(vec)
+        assert clone.count() == vec.count()
+        assert not clone.get(5)
+
+    def test_bitmatrix_export_attach(self):
+        matrix = BitMatrix(width=5, initial_rows=4)
+        matrix.set(0, 1)
+        matrix.set(9, 4)
+        matrix.set(9, 0)
+        rows, nrows = matrix.export_words()
+        clone = BitMatrix.from_words(rows.copy(), width=5, nrows=nrows)
+        assert len(clone) == len(matrix)
+        for row in range(nrows):
+            assert clone.get_row(row) == matrix.get_row(row)
+        assert clone.filter_rows_with_column([0, 9], 4) == [9]
+        assert clone.count() == matrix.count()
+
+
+def build_debi_fixture() -> tuple[DEBI, QueryTree]:
+    query = QueryGraph()
+    query.add_node(0, label=1)
+    query.add_node(1, label=2)
+    query.add_node(2, label=3)
+    query.add_edge(0, 1, label=7)
+    query.add_edge(1, 2, label=8)
+    tree = QueryTree(query)
+    debi = DEBI(tree, initial_edges=4, initial_vertices=4)
+    debi.set(0, 0)
+    debi.set(3, tree.num_columns - 1)
+    debi.set_root(2)
+    return debi, tree
+
+
+class TestSharedSnapshotRoundTrip:
+    def test_publish_attach_detach(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        graph = small_graph()
+        debi, tree = build_debi_fixture()
+        batch = {0, 2}
+        writer = SharedSnapshotWriter()
+        attachment = SnapshotAttachment()
+        try:
+            descriptor = writer.publish(graph, debi, batch, positive=True)
+            assert descriptor["epoch"] == 1
+            view, debi_view, batch_ids = attachment.views(descriptor, tree)
+            assert batch_ids == batch
+            for v in graph.vertices():
+                assert list(view.out_edges(v)) == list(graph.out_edges(v))
+            for row in range(graph.num_placeholders):
+                assert debi_view.row(row) == debi.row(row)
+            assert debi_view.is_root(2) and not debi_view.is_root(1)
+            # Same epoch: views are cached, not rebuilt.
+            again = attachment.views(descriptor, tree)
+            assert again[0] is view
+        finally:
+            attachment.detach()
+            writer.close()
+
+    def test_republish_advances_epoch_and_reflects_updates(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        graph = small_graph()
+        debi, tree = build_debi_fixture()
+        writer = SharedSnapshotWriter()
+        attachment = SnapshotAttachment()
+        try:
+            first = writer.publish(graph, debi, {0}, positive=True)
+            view1, _, _ = attachment.views(first, tree)
+            new_edge = graph.add_edge(3, 2, label=8, timestamp=6.0)
+            debi.set(new_edge, 0)
+            second = writer.publish(graph, debi, {new_edge}, positive=False)
+            assert second["epoch"] == first["epoch"] + 1
+            assert second["positive"] is False
+            view2, debi2, batch2 = attachment.views(second, tree)
+            assert view2 is not view1
+            assert batch2 == {new_edge}
+            assert new_edge in list(view2.out_edges(3))
+            assert debi2.get(new_edge, 0)
+        finally:
+            attachment.detach()
+            writer.close()
+
+
+class TestEmbeddingPacking:
+    def test_pack_unpack_round_trip(self):
+        embeddings = [
+            Embedding(node_map=((0, 10), (1, 11)), edge_map=((0, 5),), start_edge=0),
+            Embedding(
+                node_map=((0, 7), (1, 8), (2, 9)),
+                edge_map=((0, 1), (1, 2), (2, 3)),
+                start_edge=2,
+            ),
+        ]
+        packed = _pack_embeddings(embeddings)
+        restored = _unpack_embeddings(packed, positive=True)
+        assert restored == embeddings
+        negatives = _unpack_embeddings(packed, positive=False)
+        assert all(not e.positive for e in negatives)
+
+    def test_empty(self):
+        assert _unpack_embeddings(_pack_embeddings([]), positive=True) == []
+
+
+def pool_workload():
+    stream = generate_netflow_stream(NetFlowConfig(num_events=600, num_hosts=60, seed=13))
+    graph = graph_from_events(stream[:400])
+    query = QueryGenerator(graph, seed=2).tree_query(3)
+    return query, stream
+
+
+def run_engine(query, stream, parallel: ParallelConfig):
+    config = EngineConfig(stream=StreamConfig(batch_size=64), parallel=parallel)
+    with MnemonicEngine(query, config=config) as engine:
+        engine.load_initial(stream[:400])
+        result = engine.run(stream[400:])
+        return engine, result
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_batches(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        query, stream = pool_workload()
+        config = EngineConfig(
+            stream=StreamConfig(batch_size=64),
+            parallel=ParallelConfig(backend="process", num_workers=2, chunk_size=8),
+        )
+        with MnemonicEngine(query, config=config) as engine:
+            assert isinstance(engine._pool, SharedMemoryPool)
+            pool = engine._pool
+            engine.load_initial(stream[:400])
+            result = engine.run(stream[400:])
+            assert len(result.snapshots) > 1, "workload must span several batches"
+            assert engine._pool is pool, "pool must persist across batches"
+            assert pool.usable
+            # Several batches were published through the same writer
+            # (batches whose decomposition yields no work skip publication).
+            assert pool._writer.epoch >= 2
+        assert not pool.usable  # close() shuts the pool down
+
+    def test_pool_results_match_serial(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        query, stream = pool_workload()
+        _, serial = run_engine(query, stream, ParallelConfig(backend="serial"))
+        _, pooled = run_engine(
+            query, stream, ParallelConfig(backend="process", num_workers=2, chunk_size=8)
+        )
+        serial_set = {e.identity() for s in serial.snapshots for e in s.positive_embeddings}
+        pooled_set = {e.identity() for s in pooled.snapshots for e in s.positive_embeddings}
+        assert pooled_set == serial_set
+        assert pooled.total_positive == serial.total_positive
+
+    def test_count_only_mode_matches_collected_counts(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        query, stream = pool_workload()
+        parallel = ParallelConfig(backend="process", num_workers=2, chunk_size=8)
+        config = EngineConfig(
+            stream=StreamConfig(batch_size=64), parallel=parallel, collect_embeddings=False
+        )
+        with MnemonicEngine(query, config=config) as engine:
+            engine.load_initial(stream[:400])
+            counted = engine.run(stream[400:])
+        _, collected = run_engine(query, stream, parallel)
+        assert counted.total_positive == collected.total_positive
+        assert not counted.all_positive(), "count-only mode must not materialise embeddings"
+
+    def test_fallback_when_shared_memory_unavailable(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.parallel.shared_memory_available", lambda: False
+        )
+        query, stream = pool_workload()
+        engine, result = run_engine(
+            query, stream, ParallelConfig(backend="process", num_workers=2, chunk_size=8)
+        )
+        assert engine._pool is None, "pool must not spawn without shared memory"
+        _, serial = run_engine(query, stream, ParallelConfig(backend="serial"))
+        assert result.total_positive == serial.total_positive
+
+    def test_engine_close_is_idempotent(self):
+        query, stream = pool_workload()
+        config = EngineConfig(
+            parallel=ParallelConfig(backend="process", num_workers=2)
+        )
+        engine = MnemonicEngine(query, config=config)
+        engine.close()
+        engine.close()
+        assert engine._pool is None
