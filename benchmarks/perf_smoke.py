@@ -1,0 +1,153 @@
+"""Perf smoke job: fast fig06/fig08 runs gated on candidates-scanned regression.
+
+Runs the fig06 insert-only NetFlow workload at stream=500 and the fig08
+traversals-per-update sweep, and emits ``BENCH_pr.json`` with per-suite
+runtime, ``candidates_scanned`` and ``filter_traversals`` totals.  The
+job then compares ``candidates_scanned`` against the checked-in baseline
+(``benchmarks/perf_baseline.json``) and **fails on a >20% regression**
+for any suite.  Runtimes are reported but never gated — wall-clock on
+shared CI runners is noise; the scanned-candidates counter is
+deterministic.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py                    # gate vs baseline
+    PYTHONPATH=src python benchmarks/perf_smoke.py --write-baseline   # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.bench.harness import run_mnemonic_stream
+from repro.bench.metrics import traversals_per_update
+from repro.datasets import NetFlowConfig, build_query_workload, generate_netflow_stream
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+BASELINE_PATH = os.path.join(HERE, "perf_baseline.json")
+OUTPUT_PATH = os.path.join(HERE, "BENCH_pr.json")
+
+#: fig06 configuration, pinned to the stream=500 row
+FIG06_SUFFIX = 500
+FIG06_BATCH = 256
+#: fig08 batch-size sweep at the same suffix
+FIG08_BATCH_SIZES = (1, 16, 512)
+
+#: allowed relative growth of candidates_scanned before the job fails
+REGRESSION_TOLERANCE = 0.20
+
+
+def build_workload():
+    """The netflow_workload fixture's exact configuration (see conftest.py)."""
+    stream = generate_netflow_stream(
+        NetFlowConfig(num_events=3000, num_hosts=450, attachment=0.65,
+                      repeat_probability=0.10, seed=101)
+    )
+    workload = build_query_workload(
+        stream, tree_sizes=(3, 6, 9), graph_sizes=(6,),
+        queries_per_suite=1, prefix=2000, seed=11,
+    )
+    return stream, workload
+
+
+def run_fig06(stream, workload) -> dict:
+    prefix = len(stream) - FIG06_SUFFIX
+    results = {}
+    for suite, query in workload:
+        run = run_mnemonic_stream(
+            query, stream, initial_prefix=prefix, batch_size=FIG06_BATCH, query_name=suite
+        )
+        results[suite] = {
+            "seconds": run.seconds,
+            "candidates_scanned": run.extra["candidates_scanned"],
+            "filter_traversals": run.extra["filter_traversals"],
+            "embeddings": run.embeddings,
+        }
+    return results
+
+
+def run_fig08(stream, workload) -> dict:
+    prefix = len(stream) - FIG06_SUFFIX
+    results = {}
+    for suite, query in workload:
+        for batch_size in FIG08_BATCH_SIZES:
+            run = run_mnemonic_stream(
+                query, stream, initial_prefix=prefix, batch_size=batch_size, query_name=suite
+            )
+            results[f"{suite}@batch{batch_size}"] = {
+                "seconds": run.seconds,
+                "candidates_scanned": run.extra["candidates_scanned"],
+                "filter_traversals": run.extra["filter_traversals"],
+                "traversals_per_update": traversals_per_update(run.run_result),
+            }
+    return results
+
+
+def compare(current: dict, baseline: dict) -> list[str]:
+    """Return the list of regression messages (empty when the gate passes)."""
+    failures = []
+    for figure, suites in baseline.items():
+        for suite, metrics in suites.items():
+            base = metrics.get("candidates_scanned")
+            now = current.get(figure, {}).get(suite, {}).get("candidates_scanned")
+            if base is None or now is None:
+                failures.append(f"{figure}/{suite}: missing from current run")
+                continue
+            if base == 0:
+                continue
+            growth = (now - base) / base
+            if growth > REGRESSION_TOLERANCE:
+                failures.append(
+                    f"{figure}/{suite}: candidates_scanned {base} -> {now} "
+                    f"(+{growth:.0%}, tolerance {REGRESSION_TOLERANCE:.0%})"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="refresh benchmarks/perf_baseline.json instead of gating against it",
+    )
+    args = parser.parse_args(argv)
+
+    stream, workload = build_workload()
+    current = {"fig06": run_fig06(stream, workload), "fig08": run_fig08(stream, workload)}
+
+    with open(OUTPUT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(current, fh, indent=2, sort_keys=True)
+    print(f"wrote {OUTPUT_PATH}")
+    for figure, suites in current.items():
+        for suite, metrics in sorted(suites.items()):
+            print(
+                f"  {figure}/{suite}: {metrics['seconds']:.3f}s, "
+                f"candidates_scanned={metrics['candidates_scanned']}"
+            )
+
+    if args.write_baseline:
+        with open(BASELINE_PATH, "w", encoding="utf-8") as fh:
+            json.dump(current, fh, indent=2, sort_keys=True)
+        print(f"wrote {BASELINE_PATH}")
+        return 0
+
+    if not os.path.exists(BASELINE_PATH):
+        print(f"no baseline at {BASELINE_PATH}; run with --write-baseline first", file=sys.stderr)
+        return 2
+    with open(BASELINE_PATH, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    failures = compare(current, baseline)
+    if failures:
+        print("candidates-scanned regression gate FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("candidates-scanned regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

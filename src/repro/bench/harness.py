@@ -103,6 +103,7 @@ def run_mnemonic_stream(
             negative_embeddings=result.total_negative,
             extra={
                 "filter_traversals": result.total_filter_traversals,
+                "candidates_scanned": result.total_candidates_scanned,
                 "snapshots": len(result.snapshots),
                 "placeholders": engine.graph.num_placeholders,
                 "live_edges": engine.graph.num_edges,

@@ -72,12 +72,23 @@ class MatchDefinition:
       the paper's Figure 4.
     * :meth:`enumerate` — replace the whole enumeration strategy
       (the simulation variants do this).
+    * :attr:`label_partitioned` — promise that :meth:`edge_matcher`
+      rejects any data edge whose label differs from a non-wildcard
+      query edge label (true for anything that delegates to
+      :func:`default_edge_matcher`, however much it restricts further).
+      The engine then fetches candidates from per-label adjacency
+      partitions — O(matching edges) instead of O(vertex degree).  Set
+      it to ``False`` for a matcher that can accept a data edge whose
+      label differs from the query edge's, or labelled candidates would
+      be silently missed.
     """
 
     #: human-readable name used in logs and benchmark tables
     name: str = "custom"
     injective: bool = True
     bind_witnesses: bool = False
+    #: edge_matcher implies data-edge label == non-wildcard query-edge label
+    label_partitioned: bool = True
 
     # ------------------------------------------------------------------ filtering
     def edge_matcher(

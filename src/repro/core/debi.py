@@ -55,6 +55,15 @@ class DEBI:
         """
         return self._bits.filter_rows_with_column(edge_ids, column)
 
+    def column_mask(self, edge_ids, column: int):
+        """Vectorized bit test: bool mask over an int64 array of edge ids.
+
+        The array half of :meth:`filter_candidates`; the enumeration hot
+        path uses it to filter a whole adjacency partition and gather the
+        surviving endpoints in one fused step.
+        """
+        return self._bits.column_mask(edge_ids, column)
+
     def candidates_for_column(self, column: int):
         """All edge ids currently marked for ``column`` (numpy array)."""
         return self._bits.rows_with_column(column)

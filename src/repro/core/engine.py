@@ -78,6 +78,8 @@ class SnapshotResult:
     num_negative: int = 0
     #: (edge, column) evaluations spent updating DEBI for this snapshot
     filter_traversals: int = 0
+    #: candidate edges inspected by enumeration (regression-tracked metric)
+    candidates_scanned: int = 0
     #: work units enumerated
     work_units: int = 0
     graph_update_seconds: float = 0.0
@@ -123,6 +125,10 @@ class RunResult:
     @property
     def total_filter_traversals(self) -> int:
         return sum(s.filter_traversals for s in self.snapshots)
+
+    @property
+    def total_candidates_scanned(self) -> int:
+        return sum(s.candidates_scanned for s in self.snapshots)
 
     def all_positive(self) -> list[Embedding]:
         return [e for s in self.snapshots for e in s.positive_embeddings]
@@ -324,6 +330,7 @@ class MnemonicEngine:
         enum_end = _time.perf_counter()
 
         result.filter_traversals += frontier.traversed_edges
+        result.candidates_scanned += context.candidates_scanned
         result.work_units += len(units)
         result.filter_seconds += filter_end - start
         result.enumerate_seconds += enum_end - filter_end
@@ -406,6 +413,7 @@ class MnemonicEngine:
         result.enumerate_seconds += enum_end - resolve_end
         result.filter_seconds += filter_end - enum_end
         result.filter_traversals += frontier.traversed_edges
+        result.candidates_scanned += context.candidates_scanned
         result.work_units += len(units)
         result.num_negative += outcome.num_embeddings
         result.enumeration_outcomes.append(outcome)

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
+import numpy as np
+
 from repro.core.api import MatchDefinition
 from repro.core.debi import DEBI
 from repro.core.results import Embedding
@@ -36,6 +38,12 @@ class WorkUnit:
 
     edge_id: int
     start_edge: int
+
+
+#: below this pool size the scalar path beats numpy round-trips
+_VECTOR_CUTOFF = 8
+
+_EMPTY_CANDIDATES: tuple[list[int], list[int]] = ([], [])
 
 
 class EnumerationContext:
@@ -79,24 +87,78 @@ class EnumerationContext:
         self.candidates_scanned = 0
         #: number of embeddings produced across all units run on this context
         self.embeddings_found = 0
+        # Candidate pools may be narrowed to the query edge's label
+        # partition only when the match definition promises its
+        # edge_matcher implies label equality (see MatchDefinition).
+        self._label_partitioned = getattr(match_def, "label_partitioned", True)
+        # Per-batch memo of (anchor, direction, column, label) -> candidates.
+        # Work units within a batch re-anchor at the same vertices heavily,
+        # and the graph/DEBI are frozen for the context's lifetime, so the
+        # pools are immutable.  Disabled with an external store: spill
+        # notifications must fire on every pool scan, not once per batch.
+        self._candidate_memo: dict | None = None if on_spilled_access is not None else {}
 
     # ------------------------------------------------------------------ paper API
     def get_candidates(self, step: ExtensionStep, anchor_vertex: int) -> list[int]:
-        """DEBI-filtered candidate edges for ``step`` anchored at ``anchor_vertex``."""
-        if step.anchor_is_src:
-            pool = self.graph.out_edges(anchor_vertex)
-        else:
-            pool = self.graph.in_edges(anchor_vertex)
+        """DEBI-filtered candidate edges for ``step`` anchored at ``anchor_vertex``.
+
+        Returns a fresh list (callers may mutate it); the memoised pair
+        behind it is shared and must stay untouched.
+        """
+        return list(self.get_candidates_with_endpoints(step, anchor_vertex)[0])
+
+    def get_candidates_with_endpoints(
+        self, step: ExtensionStep, anchor_vertex: int
+    ) -> tuple[list[int], list[int]]:
+        """Fused candidate fetch: ``(edge_ids, new_vertices)`` for one step.
+
+        Pulls the anchor's adjacency partition for the step's edge label
+        (the whole list for wildcard steps), filters it against the
+        step's DEBI column, and gathers the non-anchor endpoint of every
+        survivor — one vectorized pass instead of a per-edge Python loop
+        with an :class:`~repro.graph.edge.EdgeRecord` construction per
+        candidate.  Results are memoised per batch.
+        """
+        label = step.edge_label
+        if not self._label_partitioned or label == WILDCARD_LABEL:
+            label = None
+        memo = self._candidate_memo
+        if memo is not None:
+            key = (anchor_vertex, step.anchor_is_src, step.debi_column, label)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+        graph = self.graph
+        pool = graph.candidate_pool(anchor_vertex, step.anchor_is_src, label)
+        n = len(pool)
+        self.candidates_scanned += n
         column = step.debi_column
-        self.candidates_scanned += len(pool)
-        if column is None:
-            out = list(pool)
+        if n == 0:
+            result = _EMPTY_CANDIDATES
+        elif n < _VECTOR_CUTOFF:
+            pool_list = pool if isinstance(pool, list) else pool.tolist()
+            if column is None:
+                # Copy: the wildcard pool IS the live adjacency list, and
+                # the result may be memoised / handed to callers.
+                ids = list(pool_list)
+            else:
+                ids = self.debi.filter_candidates(pool_list, column)
+            result = (ids, graph.endpoint_list(ids, step.anchor_is_src))
         else:
-            out = self.debi.filter_candidates(pool, column)
-        if self.on_spilled_access is not None:
-            for eid in pool:
-                self._note_access(eid)
-        return out
+            arr = pool if isinstance(pool, np.ndarray) else np.asarray(pool, dtype=np.int64)
+            hits = arr if column is None else arr[self.debi.column_mask(arr, column)]
+            endpoints = graph.endpoint_array(hits, step.anchor_is_src)
+            result = (hits.tolist(), endpoints.tolist())
+        if self.on_spilled_access is not None and self.spilled_edge_ids:
+            # Only spilled edges can need a fetch; intersect with the
+            # (small) spill set instead of walking the whole pool.
+            for eid in self.spilled_edge_ids.intersection(
+                pool if isinstance(pool, list) else pool.tolist()
+            ):
+                self.on_spilled_access(eid)
+        if memo is not None:
+            memo[key] = result
+        return result
 
     def verify_nte(
         self,
@@ -376,13 +438,12 @@ def backtracking_enumerate(context: EnumerationContext, unit: WorkUnit) -> Itera
         anchor_vertex = node_map[step.anchor]
         masked = mask.is_masked(step.tree_edge_index)
         used_edges = set(edge_map.values())
-        for eid in context.get_candidates(step, anchor_vertex):
+        cand_ids, cand_vertices = context.get_candidates_with_endpoints(step, anchor_vertex)
+        for eid, new_vertex in zip(cand_ids, cand_vertices):
             if masked and eid in context.batch_edge_ids:
                 continue
             if match_def.injective and eid in used_edges:
                 continue
-            candidate = graph.edge(eid)
-            new_vertex = candidate.dst if step.anchor_is_src else candidate.src
             if match_def.injective and new_vertex in node_map.values():
                 continue
             if step.node == context.tree.root and not context.debi.is_root(new_vertex):

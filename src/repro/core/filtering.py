@@ -27,7 +27,7 @@ from repro.core.enumeration import degree_requirements_ok
 from repro.core.frontier import UnifiedFrontier
 from repro.graph.adjacency import DynamicGraph
 from repro.graph.edge import EdgeRecord
-from repro.query.query_graph import QueryGraph
+from repro.query.query_graph import QueryGraph, WILDCARD_LABEL
 from repro.query.query_tree import QueryTree, TreeEdge
 
 
@@ -61,6 +61,11 @@ class IndexManager:
         # Label-degree requirements of each query node (f2/f3 pre-filter).
         self._out_req = {u: query.out_label_requirement(u) for u in query.nodes()}
         self._in_req = {u: query.in_label_requirement(u) for u in query.nodes()}
+        # Candidate scans may restrict to the tree edge's label partition
+        # when the matcher guarantees label equality: a DEBI bit can only
+        # be (or become) set on a label-matching edge, so edges outside
+        # the partition evaluate to 0 anyway.
+        self._label_partitioned = getattr(match_def, "label_partitioned", True)
 
     # ------------------------------------------------------------------ geometry helpers
     @staticmethod
@@ -73,17 +78,26 @@ class IndexManager:
         """The data vertex that plays the role of ``tree_edge.parent``."""
         return record.dst if tree_edge.query_edge.src == tree_edge.child else record.src
 
-    def edges_with_child_at(self, vertex: int, tree_edge: TreeEdge) -> list[int]:
+    def edges_with_child_at(self, vertex: int, tree_edge: TreeEdge):
         """Data edges that could map ``tree_edge`` with child endpoint ``vertex``."""
-        if tree_edge.query_edge.src == tree_edge.child:
-            return self.graph.out_edges(vertex)
-        return self.graph.in_edges(vertex)
+        return self._candidate_scan(vertex, tree_edge.query_edge.src == tree_edge.child, tree_edge)
 
-    def edges_with_parent_at(self, vertex: int, tree_edge: TreeEdge) -> list[int]:
+    def edges_with_parent_at(self, vertex: int, tree_edge: TreeEdge):
         """Data edges that could map ``tree_edge`` with parent endpoint ``vertex``."""
-        if tree_edge.query_edge.src == tree_edge.parent:
-            return self.graph.out_edges(vertex)
-        return self.graph.in_edges(vertex)
+        return self._candidate_scan(vertex, tree_edge.query_edge.src == tree_edge.parent, tree_edge)
+
+    def _candidate_scan(self, vertex: int, out: bool, tree_edge: TreeEdge):
+        """The adjacency pool a filtering pass must evaluate for ``tree_edge``.
+
+        Restricted to the edge-label partition when the matcher implies
+        label equality — edges with a different label can never hold (or
+        gain) the column's bit, so skipping them changes no bit.
+        """
+        label = tree_edge.query_edge.label
+        if not self._label_partitioned or label == WILDCARD_LABEL:
+            label = None
+        pool = self.graph.candidate_pool(vertex, out, label)
+        return pool if isinstance(pool, list) else pool.tolist()
 
     # ------------------------------------------------------------------ consistency predicates
     def down_ok(self, vertex: int, query_node: int) -> bool:

@@ -6,7 +6,10 @@ Instead of re-forking per batch and pickling the engine state, the
 parent *publishes* the current snapshot before each enumeration call:
 
 * the :class:`~repro.graph.adjacency.DynamicGraph` is exported as flat
-  CSR numpy arrays (:meth:`DynamicGraph.export_csr`),
+  CSR numpy arrays (:meth:`DynamicGraph.export_csr`) — both the combined
+  per-vertex layout and the label-partitioned mirror (``indptr`` keyed by
+  ``(vertex, label)`` group), so workers run the same O(matches)
+  labelled candidate fetch as the serial backend,
 * DEBI's :class:`~repro.utils.bitset.BitMatrix` / ``BitVector`` word
   buffers are exported raw (:meth:`DEBI.export_buffers`),
 * the batch edge-id set joins them as one more int64 array,
@@ -203,6 +206,14 @@ class SnapshotAttachment:
             out_indices=arrays["out_indices"],
             in_indptr=arrays["in_indptr"],
             in_indices=arrays["in_indices"],
+            out_group_vptr=arrays["out_group_vptr"],
+            out_group_labels=arrays["out_group_labels"],
+            out_group_indptr=arrays["out_group_indptr"],
+            out_label_indices=arrays["out_label_indices"],
+            in_group_vptr=arrays["in_group_vptr"],
+            in_group_labels=arrays["in_group_labels"],
+            in_group_indptr=arrays["in_group_indptr"],
+            in_label_indices=arrays["in_label_indices"],
             edge_src=arrays["edge_src"],
             edge_dst=arrays["edge_dst"],
             edge_label=arrays["edge_label"],

@@ -1,16 +1,25 @@
-"""Dynamic adjacency-list multigraph with edge-id recycling.
+"""Dynamic adjacency-list multigraph with label-partitioned candidate storage.
 
 This is the data-graph storage layer described in Section II-A and the
-"Memory recycling" paragraph of Section IV-A of the paper:
+"Memory recycling" paragraph of Section IV-A of the paper, extended with
+the label-partitioned layout that makes candidate retrieval proportional
+to the number of *matching* edges rather than to vertex degree:
 
-* each vertex keeps separate lists of its outgoing and incoming edge ids
-  so that candidate edges for a query-tree step can be fetched with one
-  sequential scan of a single list;
+* each vertex keeps its outgoing and incoming edge ids twice — once as a
+  combined insertion-ordered list (wildcard scans, ``find_edges``) and
+  once partitioned by edge label into growable int64 numpy arrays, so a
+  labelled query-tree step fetches only same-label candidates in
+  O(matches);
+* per-vertex / per-label degrees fall out of the partition sizes, so the
+  ``f2``/``f3`` label-degree filters are O(1) lookups;
 * each edge *instance* has a unique ``edge_id`` used to address its
-  attributes and its DEBI row;
-* when an edge is deleted it is located in the adjacency list, swapped
-  with the last entry and popped (O(degree) locate, O(1) removal), and
-  its id is pushed on the free list of its source vertex;
+  attributes and its DEBI row; the endpoint columns are mirrored into
+  flat numpy arrays so a whole candidate partition can be DEBI-filtered
+  and endpoint-gathered in one vectorized call;
+* when an edge is deleted it is located in its adjacency list and label
+  partition, swapped with the last entry and popped (O(degree) locate,
+  O(1) removal), and its id is pushed on the free list of its source
+  vertex;
 * when a new edge is later inserted at that vertex the id is reused,
   which keeps the number of edge placeholders — and therefore the DEBI
   size — from growing monotonically (Figure 17).
@@ -18,7 +27,7 @@ This is the data-graph storage layer described in Section II-A and the
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -27,6 +36,52 @@ import numpy as np
 from repro.graph.edge import EdgeRecord, EdgeTriple
 from repro.graph.stats import PlaceholderStats
 from repro.utils.validation import GraphError
+
+_EMPTY_IDS: list[int] = []
+_EMPTY_ARRAY = np.empty(0, dtype=np.int64)
+
+
+class IntVector:
+    """A growable int64 numpy array with amortized append and swap-pop delete.
+
+    The storage unit of one ``(vertex, direction, label)`` adjacency
+    partition.  ``view()`` exposes the live prefix as a zero-copy numpy
+    slice, which is what the vectorized candidate pipeline consumes.
+    """
+
+    __slots__ = ("_data", "_n")
+
+    def __init__(self, capacity: int = 4) -> None:
+        self._data = np.empty(max(capacity, 1), dtype=np.int64)
+        self._n = 0
+
+    def append(self, value: int) -> None:
+        if self._n == self._data.shape[0]:
+            grown = np.empty(self._data.shape[0] * 2, dtype=np.int64)
+            grown[: self._n] = self._data
+            self._data = grown
+        self._data[self._n] = value
+        self._n += 1
+
+    def swap_pop(self, value: int) -> bool:
+        """Remove one occurrence of ``value`` (swap-with-last); False if absent."""
+        live = self._data[: self._n]
+        hits = np.nonzero(live == value)[0]
+        if hits.shape[0] == 0:
+            return False
+        self._n -= 1
+        live[hits[0]] = self._data[self._n]
+        return True
+
+    def view(self) -> np.ndarray:
+        """Zero-copy int64 view of the live entries (do not mutate)."""
+        return self._data[: self._n]
+
+    def tolist(self) -> list[int]:
+        return self._data[: self._n].tolist()
+
+    def __len__(self) -> int:
+        return self._n
 
 
 class DynamicGraph:
@@ -40,28 +95,33 @@ class DynamicGraph:
         False every insertion allocates a fresh id; this mode exists to
         reproduce the "without reclaiming" curve of Figure 17.
     track_label_degrees:
-        Maintain per-vertex, per-label in/out degree counters.  These are
-        used by the ``f2``/``f3`` label-degree filters; maintaining them
-        costs O(1) per update.
+        Retained for API compatibility.  Label degrees are now read off
+        the per-label partition sizes, so they are O(1) regardless of
+        this flag.
     """
 
     def __init__(self, recycle_edge_ids: bool = True, track_label_degrees: bool = True) -> None:
         self.recycle_edge_ids = recycle_edge_ids
         self.track_label_degrees = track_label_degrees
 
-        # Edge columns indexed by edge_id.
+        # Edge columns indexed by edge_id.  The Python lists serve the
+        # scalar hot paths (EdgeRecord construction, find_edges); the
+        # numpy mirrors serve the vectorized endpoint gather.
         self._src: list[int] = []
         self._dst: list[int] = []
         self._label: list[int] = []
         self._timestamp: list[float] = []
         self._alive: list[bool] = []
+        self._src_col = np.empty(1024, dtype=np.int64)
+        self._dst_col = np.empty(1024, dtype=np.int64)
 
-        # Vertex state.
+        # Vertex state.  Combined lists keep insertion order (wildcard
+        # pools, find_edges); partitions key edge ids by edge label.
         self._vertex_labels: dict[int, int] = {}
         self._out: dict[int, list[int]] = defaultdict(list)
         self._in: dict[int, list[int]] = defaultdict(list)
-        self._out_label_deg: dict[int, Counter] = defaultdict(Counter)
-        self._in_label_deg: dict[int, Counter] = defaultdict(Counter)
+        self._out_by_label: dict[int, dict[int, IntVector]] = {}
+        self._in_by_label: dict[int, dict[int, IntVector]] = {}
 
         # Edge-id recycling: free ids keyed by the source vertex that owned them.
         self._free_ids: dict[int, list[int]] = defaultdict(list)
@@ -129,16 +189,36 @@ class DynamicGraph:
             self._label[edge_id] = label
             self._timestamp[edge_id] = timestamp
             self._alive[edge_id] = True
+        if edge_id >= self._src_col.shape[0]:
+            self._src_col = self._grow_column(self._src_col, edge_id + 1)
+            self._dst_col = self._grow_column(self._dst_col, edge_id + 1)
+        self._src_col[edge_id] = src
+        self._dst_col[edge_id] = dst
 
         self._out[src].append(edge_id)
         self._in[dst].append(edge_id)
+        self._partition(self._out_by_label, src, label).append(edge_id)
+        self._partition(self._in_by_label, dst, label).append(edge_id)
         self._triple_index[(src, dst, label)].append(edge_id)
-        if self.track_label_degrees:
-            self._out_label_deg[src][label] += 1
-            self._in_label_deg[dst][label] += 1
         self._num_live_edges += 1
         self.stats.record_insert(placeholders=len(self._src), live=self._num_live_edges)
         return edge_id
+
+    @staticmethod
+    def _grow_column(column: np.ndarray, needed: int) -> np.ndarray:
+        grown = np.empty(max(needed, column.shape[0] * 2), dtype=np.int64)
+        grown[: column.shape[0]] = column
+        return grown
+
+    @staticmethod
+    def _partition(by_label: dict[int, dict[int, IntVector]], vertex: int, label: int) -> IntVector:
+        partitions = by_label.get(vertex)
+        if partitions is None:
+            partitions = by_label[vertex] = {}
+        vec = partitions.get(label)
+        if vec is None:
+            vec = partitions[label] = IntVector()
+        return vec
 
     def _allocate_id(self, src: int) -> int:
         if self.recycle_edge_ids:
@@ -155,12 +235,13 @@ class DynamicGraph:
 
         self._remove_from_list(self._out[src], edge_id)
         self._remove_from_list(self._in[dst], edge_id)
+        if not self._out_by_label[src][label].swap_pop(edge_id):
+            raise GraphError(f"edge {edge_id} missing from out-label partition")
+        if not self._in_by_label[dst][label].swap_pop(edge_id):
+            raise GraphError(f"edge {edge_id} missing from in-label partition")
         self._remove_from_list(self._triple_index[(src, dst, label)], edge_id)
         if not self._triple_index[(src, dst, label)]:
             del self._triple_index[(src, dst, label)]
-        if self.track_label_degrees:
-            self._out_label_deg[src][label] -= 1
-            self._in_label_deg[dst][label] -= 1
 
         self._alive[edge_id] = False
         self._num_live_edges -= 1
@@ -216,6 +297,45 @@ class DynamicGraph:
         """Edge ids of live edges entering ``vertex`` (do not mutate)."""
         return self._in.get(vertex, [])
 
+    def out_edges_with_label(self, vertex: int, label: int) -> np.ndarray:
+        """Live out-edges of ``vertex`` carrying ``label`` (zero-copy int64 view)."""
+        partitions = self._out_by_label.get(vertex)
+        if partitions is None:
+            return _EMPTY_ARRAY
+        vec = partitions.get(label)
+        return _EMPTY_ARRAY if vec is None else vec.view()
+
+    def in_edges_with_label(self, vertex: int, label: int) -> np.ndarray:
+        """Live in-edges of ``vertex`` carrying ``label`` (zero-copy int64 view)."""
+        partitions = self._in_by_label.get(vertex)
+        if partitions is None:
+            return _EMPTY_ARRAY
+        vec = partitions.get(label)
+        return _EMPTY_ARRAY if vec is None else vec.view()
+
+    def candidate_pool(self, vertex: int, out: bool, label: int | None = None):
+        """The candidate edge pool for one extension step.
+
+        ``label=None`` (wildcard) returns the combined insertion-ordered
+        list; a concrete label returns the zero-copy partition view, so a
+        labelled step touches O(matching edges) instead of O(degree).
+        """
+        if label is None:
+            return (self._out if out else self._in).get(vertex, _EMPTY_IDS)
+        if out:
+            return self.out_edges_with_label(vertex, label)
+        return self.in_edges_with_label(vertex, label)
+
+    def endpoint_array(self, edge_ids: np.ndarray, take_dst: bool) -> np.ndarray:
+        """Vectorized endpoint gather: dst (or src) vertex per edge id."""
+        column = self._dst_col if take_dst else self._src_col
+        return column[edge_ids]
+
+    def endpoint_list(self, edge_ids, take_dst: bool) -> list[int]:
+        """Scalar endpoint gather for small candidate lists."""
+        column = self._dst if take_dst else self._src
+        return [column[e] for e in edge_ids]
+
     def incident_edges(self, vertex: int) -> Iterator[int]:
         """All live edge ids touching ``vertex`` (out first, then in)."""
         yield from self.out_edges(vertex)
@@ -231,16 +351,20 @@ class DynamicGraph:
         return self.out_degree(vertex) + self.in_degree(vertex)
 
     def out_label_degree(self, vertex: int, label: int) -> int:
-        """Number of live out-edges of ``vertex`` carrying ``label``."""
-        if not self.track_label_degrees:
-            return sum(1 for e in self.out_edges(vertex) if self._label[e] == label)
-        return self._out_label_deg.get(vertex, Counter()).get(label, 0)
+        """Number of live out-edges of ``vertex`` carrying ``label`` (O(1))."""
+        partitions = self._out_by_label.get(vertex)
+        if partitions is None:
+            return 0
+        vec = partitions.get(label)
+        return 0 if vec is None else len(vec)
 
     def in_label_degree(self, vertex: int, label: int) -> int:
-        """Number of live in-edges of ``vertex`` carrying ``label``."""
-        if not self.track_label_degrees:
-            return sum(1 for e in self.in_edges(vertex) if self._label[e] == label)
-        return self._in_label_deg.get(vertex, Counter()).get(label, 0)
+        """Number of live in-edges of ``vertex`` carrying ``label`` (O(1))."""
+        partitions = self._in_by_label.get(vertex)
+        if partitions is None:
+            return 0
+        vec = partitions.get(label)
+        return 0 if vec is None else len(vec)
 
     def edges(self) -> Iterator[EdgeRecord]:
         """Iterate over all live edge records."""
@@ -289,11 +413,22 @@ class DynamicGraph:
         clone._label = list(self._label)
         clone._timestamp = list(self._timestamp)
         clone._alive = list(self._alive)
+        clone._src_col = self._src_col.copy()
+        clone._dst_col = self._dst_col.copy()
         clone._vertex_labels = dict(self._vertex_labels)
         clone._out = defaultdict(list, {k: list(v) for k, v in self._out.items()})
         clone._in = defaultdict(list, {k: list(v) for k, v in self._in.items()})
-        clone._out_label_deg = defaultdict(Counter, {k: Counter(v) for k, v in self._out_label_deg.items()})
-        clone._in_label_deg = defaultdict(Counter, {k: Counter(v) for k, v in self._in_label_deg.items()})
+        for source, target in (
+            (self._out_by_label, clone._out_by_label),
+            (self._in_by_label, clone._in_by_label),
+        ):
+            for vertex, partitions in source.items():
+                copied = target[vertex] = {}
+                for label, vec in partitions.items():
+                    fresh = IntVector(capacity=max(len(vec), 1))
+                    fresh._data[: len(vec)] = vec.view()
+                    fresh._n = len(vec)
+                    copied[label] = fresh
         clone._free_ids = defaultdict(list, {k: list(v) for k, v in self._free_ids.items()})
         clone._triple_index = defaultdict(list, {k: list(v) for k, v in self._triple_index.items()})
         clone._num_live_edges = self._num_live_edges
@@ -308,8 +443,16 @@ class DynamicGraph:
         into a ``multiprocessing.shared_memory`` segment with one memcpy
         each and re-attached zero-copy in worker processes, where
         :class:`CSRGraphView` turns them back into the read API of this
-        class.  Adjacency-list order is preserved, so a view enumerates
-        candidates in the same order as the live graph.
+        class.  Two layouts ship side by side so that a view enumerates
+        candidates in exactly the same order as the live graph:
+
+        * the combined CSR (``out_indptr``/``out_indices`` and the ``in_``
+          pair) preserves adjacency-list insertion order (wildcard pools);
+        * the label-partitioned CSR groups each vertex's edge ids by edge
+          label in partition order: ``*_group_vptr`` maps a vertex to its
+          range of ``(label, slice)`` groups, ``*_group_labels`` /
+          ``*_group_indptr`` describe each group, and ``*_label_indices``
+          holds the edge ids (labelled pools).
         """
         vertex_ids = list(self._vertex_labels)
         num_vertices = len(vertex_ids)
@@ -325,8 +468,43 @@ class DynamicGraph:
             )
             return indptr, indices
 
+        def build_label_csr(
+            by_label: dict[int, dict[int, IntVector]],
+        ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+            group_vptr = np.zeros(num_vertices + 1, dtype=np.int64)
+            group_labels: list[int] = []
+            group_sizes: list[int] = []
+            chunks: list[np.ndarray] = []
+            for i, vid in enumerate(vertex_ids):
+                partitions = by_label.get(vid)
+                if partitions:
+                    for label, vec in partitions.items():
+                        if len(vec) == 0:
+                            continue
+                        group_labels.append(label)
+                        group_sizes.append(len(vec))
+                        chunks.append(vec.view())
+                group_vptr[i + 1] = len(group_labels)
+            group_indptr = np.zeros(len(group_labels) + 1, dtype=np.int64)
+            np.cumsum(group_sizes, out=group_indptr[1:])
+            indices = (
+                np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+            )
+            return (
+                group_vptr,
+                np.array(group_labels, dtype=np.int64),
+                group_indptr,
+                indices,
+            )
+
         out_indptr, out_indices = build_csr(self._out)
         in_indptr, in_indices = build_csr(self._in)
+        out_group_vptr, out_group_labels, out_group_indptr, out_label_indices = (
+            build_label_csr(self._out_by_label)
+        )
+        in_group_vptr, in_group_labels, in_group_indptr, in_label_indices = (
+            build_label_csr(self._in_by_label)
+        )
         return CSRSnapshot(
             vertex_ids=np.array(vertex_ids, dtype=np.int64),
             vertex_labels=np.fromiter(
@@ -336,8 +514,16 @@ class DynamicGraph:
             out_indices=out_indices,
             in_indptr=in_indptr,
             in_indices=in_indices,
-            edge_src=np.array(self._src, dtype=np.int64),
-            edge_dst=np.array(self._dst, dtype=np.int64),
+            out_group_vptr=out_group_vptr,
+            out_group_labels=out_group_labels,
+            out_group_indptr=out_group_indptr,
+            out_label_indices=out_label_indices,
+            in_group_vptr=in_group_vptr,
+            in_group_labels=in_group_labels,
+            in_group_indptr=in_group_indptr,
+            in_label_indices=in_label_indices,
+            edge_src=self._src_col[: len(self._src)].copy(),
+            edge_dst=self._dst_col[: len(self._dst)].copy(),
             edge_label=np.array(self._label, dtype=np.int64),
             edge_timestamp=np.array(self._timestamp, dtype=np.float64),
             edge_alive=np.array(self._alive, dtype=np.uint8),
@@ -357,9 +543,13 @@ class CSRSnapshot:
 
     ``out_indptr``/``out_indices`` (and the ``in_`` pair) are standard CSR:
     the live out-edge ids of the ``i``-th vertex of ``vertex_ids`` are
-    ``out_indices[out_indptr[i]:out_indptr[i + 1]]``.  The ``edge_*``
-    columns are indexed by edge id and cover every placeholder (live or
-    dead); ``edge_alive`` disambiguates.
+    ``out_indices[out_indptr[i]:out_indptr[i + 1]]``.  The label-partitioned
+    mirror keys the same edge ids by ``(vertex, label)`` group: vertex ``i``
+    owns groups ``out_group_vptr[i]:out_group_vptr[i + 1]``; group ``g``
+    carries label ``out_group_labels[g]`` and edge ids
+    ``out_label_indices[out_group_indptr[g]:out_group_indptr[g + 1]]``.
+    The ``edge_*`` columns are indexed by edge id and cover every
+    placeholder (live or dead); ``edge_alive`` disambiguates.
     """
 
     vertex_ids: np.ndarray  #: int64 [V] — vertex ids in insertion order
@@ -368,6 +558,14 @@ class CSRSnapshot:
     out_indices: np.ndarray  #: int64 [live out-edges]
     in_indptr: np.ndarray  #: int64 [V + 1]
     in_indices: np.ndarray  #: int64 [live in-edges]
+    out_group_vptr: np.ndarray  #: int64 [V + 1] — (vertex, label) group ranges
+    out_group_labels: np.ndarray  #: int64 [G_out]
+    out_group_indptr: np.ndarray  #: int64 [G_out + 1]
+    out_label_indices: np.ndarray  #: int64 [live out-edges]
+    in_group_vptr: np.ndarray  #: int64 [V + 1]
+    in_group_labels: np.ndarray  #: int64 [G_in]
+    in_group_indptr: np.ndarray  #: int64 [G_in + 1]
+    in_label_indices: np.ndarray  #: int64 [live in-edges]
     edge_src: np.ndarray  #: int64 [placeholders]
     edge_dst: np.ndarray  #: int64 [placeholders]
     edge_label: np.ndarray  #: int64 [placeholders]
@@ -384,15 +582,20 @@ class CSRSnapshot:
             "out_indices": self.out_indices,
             "in_indptr": self.in_indptr,
             "in_indices": self.in_indices,
+            "out_group_vptr": self.out_group_vptr,
+            "out_group_labels": self.out_group_labels,
+            "out_group_indptr": self.out_group_indptr,
+            "out_label_indices": self.out_label_indices,
+            "in_group_vptr": self.in_group_vptr,
+            "in_group_labels": self.in_group_labels,
+            "in_group_indptr": self.in_group_indptr,
+            "in_label_indices": self.in_label_indices,
             "edge_src": self.edge_src,
             "edge_dst": self.edge_dst,
             "edge_label": self.edge_label,
             "edge_timestamp": self.edge_timestamp,
             "edge_alive": self.edge_alive,
         }
-
-
-_EMPTY_IDS: list[int] = []
 
 
 class CSRGraphView:
@@ -406,7 +609,10 @@ class CSRGraphView:
     lazily per vertex — a worker only materialises the neighbourhoods
     its work units actually visit — while the edge scalar columns are
     converted once up front because the hot loop indexes them by
-    arbitrary edge id.  Mutating methods are intentionally absent.
+    arbitrary edge id.  Labelled candidate pools stay numpy: the fused
+    pipeline filters and gathers them vectorized, so no per-edge Python
+    conversion happens for them.  Mutating methods are intentionally
+    absent.
     """
 
     def __init__(self, snapshot: CSRSnapshot) -> None:
@@ -419,6 +625,12 @@ class CSRGraphView:
         self._in_indptr = snapshot.in_indptr.tolist()
         self._out_indices = snapshot.out_indices
         self._in_indices = snapshot.in_indices
+        self._out_group_vptr = snapshot.out_group_vptr.tolist()
+        self._out_group_labels = snapshot.out_group_labels.tolist()
+        self._out_group_indptr = snapshot.out_group_indptr.tolist()
+        self._in_group_vptr = snapshot.in_group_vptr.tolist()
+        self._in_group_labels = snapshot.in_group_labels.tolist()
+        self._in_group_indptr = snapshot.in_group_indptr.tolist()
         self._out_cache: dict[int, list[int]] = {}
         self._in_cache: dict[int, list[int]] = {}
         self._src = snapshot.edge_src.tolist()
@@ -483,6 +695,64 @@ class CSRGraphView:
             self._in_cache[vertex] = edges
         return edges
 
+    def _label_slice(
+        self,
+        vertex: int,
+        label: int,
+        group_vptr: list[int],
+        group_labels: list[int],
+        group_indptr: list[int],
+        indices: np.ndarray,
+    ) -> np.ndarray:
+        pos = self._position.get(vertex)
+        if pos is None:
+            return _EMPTY_ARRAY
+        for g in range(group_vptr[pos], group_vptr[pos + 1]):
+            if group_labels[g] == label:
+                return indices[group_indptr[g] : group_indptr[g + 1]]
+        return _EMPTY_ARRAY
+
+    def out_edges_with_label(self, vertex: int, label: int) -> np.ndarray:
+        """Live out-edges of ``vertex`` carrying ``label`` (zero-copy int64 view)."""
+        return self._label_slice(
+            vertex,
+            label,
+            self._out_group_vptr,
+            self._out_group_labels,
+            self._out_group_indptr,
+            self._snapshot.out_label_indices,
+        )
+
+    def in_edges_with_label(self, vertex: int, label: int) -> np.ndarray:
+        """Live in-edges of ``vertex`` carrying ``label`` (zero-copy int64 view)."""
+        return self._label_slice(
+            vertex,
+            label,
+            self._in_group_vptr,
+            self._in_group_labels,
+            self._in_group_indptr,
+            self._snapshot.in_label_indices,
+        )
+
+    def candidate_pool(self, vertex: int, out: bool, label: int | None = None):
+        """Candidate pool for one extension step (see :meth:`DynamicGraph.candidate_pool`)."""
+        if label is None:
+            return self.out_edges(vertex) if out else self.in_edges(vertex)
+        if out:
+            return self.out_edges_with_label(vertex, label)
+        return self.in_edges_with_label(vertex, label)
+
+    def endpoint_array(self, edge_ids: np.ndarray, take_dst: bool) -> np.ndarray:
+        """Vectorized endpoint gather: dst (or src) vertex per edge id."""
+        snapshot = self._snapshot
+        column = snapshot.edge_dst if take_dst else snapshot.edge_src
+        return column[edge_ids]
+
+    def endpoint_list(self, edge_ids, take_dst: bool) -> list[int]:
+        """Scalar endpoint gather for small candidate lists."""
+        column = self._dst if take_dst else self._src
+        return [column[e] for e in edge_ids]
+
     def incident_edges(self, vertex: int) -> Iterator[int]:
         yield from self.out_edges(vertex)
         yield from self.in_edges(vertex)
@@ -502,13 +772,33 @@ class CSRGraphView:
     def degree(self, vertex: int) -> int:
         return self.out_degree(vertex) + self.in_degree(vertex)
 
+    def _label_group_size(
+        self,
+        vertex: int,
+        label: int,
+        group_vptr: list[int],
+        group_labels: list[int],
+        group_indptr: list[int],
+    ) -> int:
+        pos = self._position.get(vertex)
+        if pos is None:
+            return 0
+        for g in range(group_vptr[pos], group_vptr[pos + 1]):
+            if group_labels[g] == label:
+                return group_indptr[g + 1] - group_indptr[g]
+        return 0
+
     def out_label_degree(self, vertex: int, label: int) -> int:
-        labels = self._label
-        return sum(1 for e in self.out_edges(vertex) if labels[e] == label)
+        """Number of live out-edges with ``label`` (O(labels at vertex))."""
+        return self._label_group_size(
+            vertex, label, self._out_group_vptr, self._out_group_labels, self._out_group_indptr
+        )
 
     def in_label_degree(self, vertex: int, label: int) -> int:
-        labels = self._label
-        return sum(1 for e in self.in_edges(vertex) if labels[e] == label)
+        """Number of live in-edges with ``label`` (O(labels at vertex))."""
+        return self._label_group_size(
+            vertex, label, self._in_group_vptr, self._in_group_labels, self._in_group_indptr
+        )
 
     def edges(self) -> Iterator[EdgeRecord]:
         for edge_id, alive in enumerate(self._alive):

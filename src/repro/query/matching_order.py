@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.query.query_graph import QueryEdge, QueryGraph
+from repro.query.query_graph import WILDCARD_LABEL, QueryEdge, QueryGraph
 from repro.query.query_tree import QueryTree
 from repro.utils.validation import QueryError
 
@@ -42,6 +42,9 @@ class ExtensionStep:
     debi_column: int | None
     #: other query edges between ``node`` and already-bound nodes to verify
     verify_edges: tuple[int, ...] = ()
+    #: label of the tree edge (WILDCARD_LABEL when unconstrained); selects
+    #: the adjacency partition the candidate pool is fetched from
+    edge_label: int = WILDCARD_LABEL
 
 
 @dataclass(frozen=True)
@@ -117,6 +120,7 @@ def _step_for(tree: QueryTree, query: QueryGraph, node: int, bound: set[int]) ->
         anchor_is_src=anchor_is_src,
         debi_column=debi_column,
         verify_edges=verify,
+        edge_label=qedge.label,
     )
 
 

@@ -273,6 +273,19 @@ class BitMatrix:
         hits = (gathered & np.uint64(1 << col)) != 0
         return [int(r) for r, hit in zip(rows, hits) if hit]
 
+    def column_mask(self, rows: np.ndarray, col: int) -> np.ndarray:
+        """Boolean mask over ``rows`` (int64 array): is bit ``col`` set per row?
+
+        The vectorized core of the fused candidate pipeline: one gather +
+        one bitwise-and over a whole adjacency partition, instead of one
+        scalar lookup per edge.  Rows beyond the written range read as 0.
+        """
+        self._check_col(col)
+        valid = rows < self._nrows
+        gathered = np.zeros(len(rows), dtype=np.uint64)
+        gathered[valid] = self._rows[rows[valid]]
+        return (gathered & np.uint64(1 << col)) != 0
+
     def count(self) -> int:
         """Total number of set bits across all rows."""
         if self._nrows == 0:
