@@ -1,13 +1,21 @@
 """Perf smoke job: fast fig06/fig08 runs gated on candidates-scanned regression.
 
-Runs the fig06 insert-only NetFlow workload at stream=500 and the fig08
-traversals-per-update sweep, and emits ``BENCH_pr.json`` with per-suite
+Runs the fig06 insert-only NetFlow workload at stream=500, the fig08
+traversals-per-update sweep, and a multi-query scenario (8 standing
+queries sharing one engine), and emits ``BENCH_pr.json`` with per-suite
 runtime, ``candidates_scanned`` and ``filter_traversals`` totals.  The
 job then compares ``candidates_scanned`` against the checked-in baseline
 (``benchmarks/perf_baseline.json``) and **fails on a >20% regression**
 for any suite.  Runtimes are reported but never gated — wall-clock on
 shared CI runners is noise; the scanned-candidates counter is
 deterministic.
+
+The multi-query scenario additionally gates the sharing contract
+itself, not just its drift: the 8 standing queries must scan strictly
+fewer candidates than 8 independent engines, their per-query result
+sets must be identical to the independent runs, and the process-backend
+pass must publish exactly one shared-memory snapshot per enumeration
+phase (instead of one per query per batch).
 
 Usage::
 
@@ -22,8 +30,9 @@ import json
 import os
 import sys
 
-from repro.bench.harness import run_mnemonic_stream
+from repro.bench.harness import run_mnemonic_stream, run_multi_query_stream
 from repro.bench.metrics import traversals_per_update
+from repro.core.parallel import ParallelConfig
 from repro.datasets import NetFlowConfig, build_query_workload, generate_netflow_stream
 
 HERE = os.path.dirname(os.path.abspath(__file__))
@@ -35,6 +44,9 @@ FIG06_SUFFIX = 500
 FIG06_BATCH = 256
 #: fig08 batch-size sweep at the same suffix
 FIG08_BATCH_SIZES = (1, 16, 512)
+#: the 8 standing queries of the multi-query scenario (6 trees + 2 graphs)
+MULTI_QUERY_TREE_SIZES = (3, 4, 5, 6, 7, 9)
+MULTI_QUERY_GRAPH_SIZES = (5, 6)
 
 #: allowed relative growth of candidates_scanned before the job fails
 REGRESSION_TOLERANCE = 0.20
@@ -86,6 +98,109 @@ def run_fig08(stream, workload) -> dict:
     return results
 
 
+def positive_identities(run_result) -> set:
+    return {
+        e.identity()
+        for snapshot in run_result.snapshots
+        for e in snapshot.positive_embeddings
+    }
+
+
+def run_multi_query(stream) -> tuple[dict, list[str]]:
+    """The multi-query sharing gate: 8 standing queries vs 8 engines.
+
+    Returns the metrics row for ``BENCH_pr.json`` plus the list of
+    violated sharing invariants (empty when the gate passes).
+    """
+    workload = build_query_workload(
+        stream,
+        tree_sizes=MULTI_QUERY_TREE_SIZES,
+        graph_sizes=MULTI_QUERY_GRAPH_SIZES,
+        queries_per_suite=1,
+        prefix=2000,
+        seed=11,
+    )
+    queries = [(suite, query) for suite, query in workload]
+    prefix = len(stream) - FIG06_SUFFIX
+    failures: list[str] = []
+
+    shared = run_multi_query_stream(
+        queries, stream, initial_prefix=prefix, batch_size=FIG06_BATCH,
+        collect_embeddings=True,
+    )
+    independent_scanned = 0
+    for suite, query in queries:
+        independent = run_mnemonic_stream(
+            query, stream, initial_prefix=prefix, batch_size=FIG06_BATCH,
+            collect_embeddings=True, query_name=suite,
+        )
+        independent_scanned += independent.extra["candidates_scanned"]
+        if positive_identities(shared.per_query[suite].run_result) != positive_identities(
+            independent.run_result
+        ):
+            failures.append(
+                f"multi_query/{suite}: shared-engine results differ from an "
+                "independent engine"
+            )
+    if shared.candidates_scanned >= independent_scanned:
+        failures.append(
+            "multi_query: shared run must scan strictly fewer candidates than "
+            f"independent engines ({shared.candidates_scanned} >= {independent_scanned})"
+        )
+
+    # Process backend: the 8 queries must share one snapshot export per
+    # enumeration phase, and produce the same embeddings as the serial pass.
+    pooled = run_multi_query_stream(
+        queries, stream, initial_prefix=prefix, batch_size=FIG06_BATCH,
+        parallel=ParallelConfig(backend="process", num_workers=2, chunk_size=32),
+        collect_embeddings=True,
+    )
+    if pooled.snapshot_exports == 0:
+        failures.append(
+            "multi_query: process backend never published a shared snapshot "
+            "(pool unavailable?)"
+        )
+    elif pooled.snapshot_exports != pooled.pool_phases:
+        failures.append(
+            "multi_query: expected exactly one snapshot export per pool-dispatched "
+            f"batch, got {pooled.snapshot_exports} exports for {pooled.pool_phases} "
+            "pool phases"
+        )
+    elif pooled.pool_phases != pooled.enumeration_phases:
+        # At fig06 scale every batch amortises a publish; a batch silently
+        # dropping to the serial path would weaken the sharing claim.
+        failures.append(
+            "multi_query: only "
+            f"{pooled.pool_phases}/{pooled.enumeration_phases} enumeration phases "
+            "went through the shared pool"
+        )
+    for suite, _ in queries:
+        if positive_identities(pooled.per_query[suite].run_result) != positive_identities(
+            shared.per_query[suite].run_result
+        ):
+            failures.append(f"multi_query/{suite}: pooled results differ from serial")
+
+    metrics = {
+        "shared8": {
+            "seconds": shared.seconds,
+            "candidates_scanned": shared.candidates_scanned,
+            "independent_candidates_scanned": independent_scanned,
+            "scan_sharing_ratio": (
+                shared.candidates_scanned / independent_scanned
+                if independent_scanned
+                else 0.0
+            ),
+            "snapshot_exports_pooled": pooled.snapshot_exports,
+            "enumeration_phases": pooled.enumeration_phases,
+            "pool_phases": pooled.pool_phases,
+            "embeddings": sum(
+                run.embeddings for run in shared.per_query.values()
+            ),
+        }
+    }
+    return metrics, failures
+
+
 def compare(current: dict, baseline: dict) -> list[str]:
     """Return the list of regression messages (empty when the gate passes)."""
     failures = []
@@ -116,7 +231,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     stream, workload = build_workload()
-    current = {"fig06": run_fig06(stream, workload), "fig08": run_fig08(stream, workload)}
+    multi_metrics, sharing_failures = run_multi_query(stream)
+    current = {
+        "fig06": run_fig06(stream, workload),
+        "fig08": run_fig08(stream, workload),
+        "multi_query": multi_metrics,
+    }
 
     with open(OUTPUT_PATH, "w", encoding="utf-8") as fh:
         json.dump(current, fh, indent=2, sort_keys=True)
@@ -127,6 +247,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"  {figure}/{suite}: {metrics['seconds']:.3f}s, "
                 f"candidates_scanned={metrics['candidates_scanned']}"
             )
+
+    if sharing_failures:
+        print("multi-query sharing gate FAILED:", file=sys.stderr)
+        for line in sharing_failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
 
     if args.write_baseline:
         with open(BASELINE_PATH, "w", encoding="utf-8") as fh:

@@ -16,7 +16,6 @@ import time
 import pytest
 
 from benchmarks.conftest import write_result
-from repro.baselines import CECIMatcher
 from repro.bench.harness import run_ceci_per_snapshot
 from repro.bench.reporting import format_table
 from repro.core.engine import EngineConfig, MnemonicEngine

@@ -13,7 +13,7 @@ Run with::
 
 import time
 
-from repro import MnemonicEngine, QueryGraph
+from repro import MnemonicEngine
 from repro.datasets import NetFlowConfig, generate_netflow_stream, graph_from_events
 from repro.matchers import (
     HomomorphismMatcher,

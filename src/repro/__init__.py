@@ -32,7 +32,8 @@ Quickstart::
 from repro.core.api import DefaultMatchDefinition, MatchDefinition
 from repro.core.engine import EngineConfig, MnemonicEngine, RunResult, SnapshotResult, enumerate_static
 from repro.core.parallel import ParallelConfig
-from repro.core.results import Embedding, ResultSet
+from repro.core.registry import MultiQueryEngine, QueryRegistry
+from repro.core.results import CollectingSink, Embedding, ResultSet
 from repro.graph.adjacency import DynamicGraph
 from repro.query.query_graph import QueryGraph, WILDCARD_LABEL
 from repro.streams.config import StreamConfig, StreamType
@@ -42,6 +43,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "MnemonicEngine",
+    "MultiQueryEngine",
+    "QueryRegistry",
+    "CollectingSink",
     "EngineConfig",
     "ParallelConfig",
     "RunResult",

@@ -16,7 +16,7 @@ the tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.api import MatchDefinition, DefaultMatchDefinition
 from repro.core.results import Embedding

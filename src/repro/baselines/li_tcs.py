@@ -18,7 +18,7 @@ edge.  ``stats.stored_partials`` exposes the memory-cost metric.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.api import DefaultMatchDefinition, MatchDefinition
 from repro.core.results import Embedding

@@ -25,7 +25,7 @@ new embeddings containing the updated edge are enumerated immediately.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.api import DefaultMatchDefinition, MatchDefinition
 from repro.core.results import Embedding

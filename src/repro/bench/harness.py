@@ -20,6 +20,7 @@ from repro.baselines.turboflux import TurboFluxMatcher
 from repro.core.api import MatchDefinition
 from repro.core.engine import EngineConfig, MnemonicEngine, RunResult
 from repro.core.parallel import ParallelConfig
+from repro.core.registry import MultiQueryEngine, MultiRunResult
 from repro.datasets.queries import graph_from_events
 from repro.query.query_graph import QueryGraph
 from repro.streams.config import StreamConfig, StreamType
@@ -113,6 +114,86 @@ def run_mnemonic_stream(
         )
     finally:
         engine.close()
+
+
+# ---------------------------------------------------------------------- Mnemonic, multi-query
+@dataclass
+class MultiQueryBenchRun:
+    """Outcome of one shared multi-query run: per-query rows + shared totals."""
+
+    per_query: dict[str, BenchRun]
+    seconds: float
+    #: total adjacency-pool entries charged across all queries (shared scans
+    #: are charged once; compare against the sum over independent engines)
+    candidates_scanned: int
+    #: shared-memory snapshot publications (process backend; 0 for serial)
+    snapshot_exports: int
+    #: enumeration phases that had work (== upper bound on exports)
+    enumeration_phases: int
+    #: phases dispatched to the pool — each must publish exactly one snapshot
+    pool_phases: int = 0
+    run_result: MultiRunResult | None = None
+
+
+def run_multi_query_stream(
+    queries: Sequence[tuple[str, QueryGraph]],
+    stream: Sequence[StreamEvent],
+    initial_prefix: int = 0,
+    batch_size: int = 1024,
+    stream_type: StreamType = StreamType.INSERT_ONLY,
+    parallel: ParallelConfig | None = None,
+    collect_embeddings: bool = False,
+    query_names_unique: bool = True,
+) -> MultiQueryBenchRun:
+    """Run every query as a standing query of one shared multi-query engine.
+
+    The per-query ``BenchRun`` rows carry the same metric names as
+    :func:`run_mnemonic_stream`, so the benchmark tables can mix shared
+    and independent rows; the shared run additionally reports the
+    snapshot-export count (one per batch, not one per query per batch).
+    """
+    if query_names_unique and len({name for name, _ in queries}) != len(queries):
+        raise ValueError("query names must be unique (they key the result rows)")
+    config = EngineConfig(
+        stream=StreamConfig(stream_type=stream_type, batch_size=batch_size),
+        parallel=parallel or ParallelConfig(),
+        collect_embeddings=collect_embeddings,
+    )
+    with MultiQueryEngine(config=config) as engine:
+        name_by_id = {
+            engine.register(query, name=name): name for name, query in queries
+        }
+        prefix = stream[:initial_prefix]
+        suffix = stream[initial_prefix:]
+        if prefix:
+            engine.load_initial([e for e in prefix if e.kind is EventKind.INSERT])
+        start = time.perf_counter()
+        result = engine.run(list(suffix))
+        elapsed = time.perf_counter() - start
+        per_query: dict[str, BenchRun] = {}
+        for qid, run_result in result.per_query.items():
+            per_query[name_by_id[qid]] = BenchRun(
+                system="Mnemonic-multi",
+                query_name=name_by_id[qid],
+                seconds=elapsed,
+                embeddings=run_result.total_positive,
+                negative_embeddings=run_result.total_negative,
+                extra={
+                    "filter_traversals": run_result.total_filter_traversals,
+                    "candidates_scanned": run_result.total_candidates_scanned,
+                    "snapshots": len(run_result.snapshots),
+                },
+                run_result=run_result,
+            )
+        return MultiQueryBenchRun(
+            per_query=per_query,
+            seconds=elapsed,
+            candidates_scanned=result.total_candidates_scanned,
+            snapshot_exports=engine.snapshot_exports,
+            enumeration_phases=engine.enumeration_phases_with_units,
+            pool_phases=engine.pool_enumeration_phases,
+            run_result=result,
+        )
 
 
 # ---------------------------------------------------------------------- TurboFlux

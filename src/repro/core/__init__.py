@@ -10,17 +10,22 @@ through the user-supplied match definition.
 from repro.core.api import DefaultMatchDefinition, MatchDefinition
 from repro.core.debi import DEBI
 from repro.core.engine import EngineConfig, MnemonicEngine, RunResult, SnapshotResult
-from repro.core.results import Embedding, ResultSet
+from repro.core.registry import MultiQueryEngine, MultiRunResult, QueryRegistry
+from repro.core.results import CollectingSink, Embedding, ResultSet
 from repro.core.parallel import ParallelConfig
 
 __all__ = [
     "MnemonicEngine",
+    "MultiQueryEngine",
+    "MultiRunResult",
+    "QueryRegistry",
     "EngineConfig",
     "RunResult",
     "SnapshotResult",
     "MatchDefinition",
     "DefaultMatchDefinition",
     "DEBI",
+    "CollectingSink",
     "Embedding",
     "ResultSet",
     "ParallelConfig",

@@ -128,3 +128,18 @@ class DefaultMatchDefinition(MatchDefinition):
 
     name = "isomorphism"
     injective = True
+
+
+def __getattr__(name: str):
+    """Lazy facade for the multi-query service layer.
+
+    ``MultiQueryEngine`` and ``QueryRegistry`` are part of the public API
+    surface but live in :mod:`repro.core.registry`, which imports this
+    module; resolving them lazily keeps the import graph acyclic while
+    letting applications write ``from repro.core.api import MultiQueryEngine``.
+    """
+    if name in ("MultiQueryEngine", "QueryRegistry"):
+        from repro.core import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

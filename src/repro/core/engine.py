@@ -21,28 +21,19 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from repro.core.api import DefaultMatchDefinition, MatchDefinition
-from repro.core.debi import DEBI
-from repro.core.enumeration import (
-    EnumerationContext,
-    QueryState,
-    WorkUnit,
-    decompose_batch,
-)
-from repro.core.filtering import IndexManager
+from repro.core.api import MatchDefinition
+from repro.core.enumeration import EnumerationContext, decompose_batch
 from repro.core.parallel import (
     EnumerationOutcome,
     ParallelConfig,
     SharedMemoryPool,
     run_enumeration,
 )
+from repro.core.registry import build_query_runtime, resolve_deletions
 from repro.core.results import Embedding, ResultSet
 from repro.graph.adjacency import DynamicGraph
 from repro.graph.external import ExternalEdgeStore
-from repro.query.masking import MaskTable
-from repro.query.matching_order import build_matching_orders
 from repro.query.query_graph import QueryGraph
-from repro.query.query_tree import QueryTree
 from repro.streams.config import StreamConfig
 from repro.streams.events import EventKind, StreamEvent
 from repro.streams.generator import Snapshot, SnapshotGenerator
@@ -159,28 +150,24 @@ class MnemonicEngine:
         graph: DynamicGraph | None = None,
         root: int | None = None,
     ) -> None:
-        query.validate()
-        self.query = query
-        self.match_def = match_def or DefaultMatchDefinition()
         self.config = config or EngineConfig()
         self.graph = graph or DynamicGraph(recycle_edge_ids=self.config.recycle_edge_ids)
 
         # --- InitializeIndex: preprocessing / hyper-parameter selection.
-        data_label_freq: dict[int, int] = {}
-        for vertex in self.graph.vertices():
-            label = self.graph.vertex_label(vertex)
-            data_label_freq[label] = data_label_freq.get(label, 0) + 1
-        self.tree = QueryTree(query, root=root, data_label_frequencies=data_label_freq or None)
-        self.orders = build_matching_orders(query, self.tree)
-        self.masks = MaskTable(query, self.tree)
-        self.debi = DEBI(self.tree)
-        self.index_manager = IndexManager(
-            query, self.tree, self.graph, self.debi, self.match_def,
-            use_degree_filter=self.config.use_degree_filter,
+        # The per-query half (tree, orders, masks, DEBI, index manager) is the
+        # same bundle the multi-query registry builds per standing query; a
+        # pre-populated graph is indexed inside the builder.
+        self.runtime = build_query_runtime(
+            query, match_def, self.graph,
+            use_degree_filter=self.config.use_degree_filter, root=root,
         )
-        if self.graph.num_edges:
-            # A pre-populated graph was supplied: build the index for it.
-            self.index_manager.rebuild()
+        self.query = query
+        self.match_def = self.runtime.match_def
+        self.tree = self.runtime.tree
+        self.orders = self.runtime.orders
+        self.masks = self.runtime.masks
+        self.debi = self.runtime.debi
+        self.index_manager = self.runtime.index_manager
 
         # --- external-memory support (Table III)
         self.external_store: ExternalEdgeStore | None = None
@@ -198,14 +185,7 @@ class MnemonicEngine:
         # --- persistent parallel enumeration pool (process backend).
         # Spawned once per engine lifetime; each batch republishes the
         # snapshot into shared memory instead of re-forking workers.
-        self.query_state = QueryState.build(
-            query=self.query,
-            tree=self.tree,
-            orders=self.orders,
-            masks=self.masks,
-            match_def=self.match_def,
-            use_degree_filter=self.config.use_degree_filter,
-        )
+        self.query_state = self.runtime.query_state
         # With an external edge store every context carries spill callbacks
         # the pool cannot ship across processes, so the pool would never be
         # used — don't spawn idle workers for that configuration.
@@ -224,22 +204,33 @@ class MnemonicEngine:
     def close(self) -> None:
         """Release engine resources (the parallel worker pool, if any).
 
-        Idempotent; engines are also cleaned up on garbage collection,
-        but long-lived applications should close explicitly (or use the
+        Idempotent and exception-safe: the pool reference is dropped
+        *before* the shutdown call, so a failure while reaping workers
+        can never leave a half-closed pool attached to the engine (a
+        retry or garbage collection would then double-close it).
+        Engines are also cleaned up on garbage collection, but
+        long-lived applications should close explicitly (or use the
         engine as a context manager) so worker processes do not outlive
         their usefulness.
         """
-        if self._pool is not None:
-            if self._pool_finalizer is not None:
-                self._pool_finalizer.detach()
-            self._pool.close()
-            self._pool = None
+        pool, self._pool = self._pool, None
+        finalizer, self._pool_finalizer = self._pool_finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+        if pool is not None:
+            pool.close()
 
     def __enter__(self) -> "MnemonicEngine":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        try:
+            self.close()
+        except Exception:
+            # Teardown trouble must not mask the exception (e.g. a
+            # reset_index() failure) that is already unwinding the block.
+            if exc_type is None:
+                raise
 
     # ------------------------------------------------------------------ initialisation API
     def initialize_stream(self, source: StreamSource | Sequence[StreamEvent]) -> SnapshotGenerator:
@@ -369,24 +360,7 @@ class MnemonicEngine:
         import time as _time
 
         start = _time.perf_counter()
-        # Resolve each deletion to a concrete live edge id.  Among parallel
-        # edges the instance with the event's timestamp is preferred (sliding
-        # windows expire the oldest instance); otherwise the latest one wins.
-        doomed_ids: list[int] = []
-        doomed_set: set[int] = set()
-        for event in events:
-            ids = [
-                i for i in self.graph.find_edges(event.src, event.dst, event.label)
-                if i not in doomed_set
-            ]
-            if not ids:
-                raise ConfigurationError(
-                    f"deletion of ({event.src}, {event.dst}, {event.label}) does not match a live edge"
-                )
-            preferred = [i for i in ids if self.graph.edge(i).timestamp == event.timestamp]
-            chosen = preferred[0] if preferred else ids[-1]
-            doomed_ids.append(chosen)
-            doomed_set.add(chosen)
+        doomed_ids = resolve_deletions(self.graph, events)
         resolve_end = _time.perf_counter()
 
         # Enumerate the embeddings about to be destroyed, before mutating anything.
@@ -422,23 +396,10 @@ class MnemonicEngine:
 
     # ------------------------------------------------------------------ helpers
     def _make_context(self, batch_edge_ids: set[int], positive: bool) -> EnumerationContext:
-        # The f2/f3 label-degree rules require distinct data edges per query
-        # edge, which only holds under injective matching; for homomorphism a
-        # single data edge may witness several query edges, so the filter
-        # would wrongly prune valid embeddings.
-        use_degree = self.config.use_degree_filter and self.match_def.injective
-        degree_filter = self.index_manager.degree_ok if use_degree else None
-        return EnumerationContext(
-            query=self.query,
-            tree=self.tree,
-            graph=self.graph,
-            debi=self.debi,
-            orders=self.orders,
-            masks=self.masks,
-            match_def=self.match_def,
-            batch_edge_ids=batch_edge_ids,
-            positive=positive,
-            degree_filter=degree_filter,
+        return self.runtime.make_context(
+            self.graph,
+            batch_edge_ids,
+            positive,
             spilled_edge_ids=self._spilled_edge_ids if self.external_store else None,
             on_spilled_access=self._on_spilled_access if self.external_store else None,
         )

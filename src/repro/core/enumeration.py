@@ -70,6 +70,7 @@ class EnumerationContext:
         degree_filter: Callable[[int, int], bool] | None = None,
         spilled_edge_ids: set[int] | None = None,
         on_spilled_access: Callable[[int], None] | None = None,
+        shared_pool_cache: dict | None = None,
     ) -> None:
         self.query = query
         self.tree = tree
@@ -97,6 +98,14 @@ class EnumerationContext:
         # pools are immutable.  Disabled with an external store: spill
         # notifications must fire on every pool scan, not once per batch.
         self._candidate_memo: dict | None = None if on_spilled_access is not None else {}
+        # Cross-query raw-pool cache, shared by every context of a multi-query
+        # batch: (anchor, direction, label) -> adjacency pool.  The first query
+        # to touch a pool pays the scan (candidates_scanned); later queries
+        # reuse it for free and only pay their own DEBI filtering.  Disabled
+        # alongside the memo when spill notifications are in play.
+        self._shared_pool_cache: dict | None = (
+            None if on_spilled_access is not None else shared_pool_cache
+        )
 
     # ------------------------------------------------------------------ paper API
     def get_candidates(self, step: ExtensionStep, anchor_vertex: int) -> list[int]:
@@ -129,9 +138,18 @@ class EnumerationContext:
             if cached is not None:
                 return cached
         graph = self.graph
-        pool = graph.candidate_pool(anchor_vertex, step.anchor_is_src, label)
+        shared = self._shared_pool_cache
+        if shared is not None:
+            pool_key = (anchor_vertex, step.anchor_is_src, label)
+            pool = shared.get(pool_key)
+            if pool is None:
+                pool = graph.candidate_pool(anchor_vertex, step.anchor_is_src, label)
+                self.candidates_scanned += len(pool)
+                shared[pool_key] = pool
+        else:
+            pool = graph.candidate_pool(anchor_vertex, step.anchor_is_src, label)
+            self.candidates_scanned += len(pool)
         n = len(pool)
-        self.candidates_scanned += n
         column = step.debi_column
         if n == 0:
             result = _EMPTY_CANDIDATES
@@ -320,7 +338,12 @@ class QueryState:
         )
 
     def make_context(
-        self, graph, debi: DEBI, batch_edge_ids: set[int], positive: bool
+        self,
+        graph,
+        debi: DEBI,
+        batch_edge_ids: set[int],
+        positive: bool,
+        shared_pool_cache: dict | None = None,
     ) -> EnumerationContext:
         """Build an array-view enumeration context for one published snapshot."""
         degree_filter = None
@@ -339,6 +362,7 @@ class QueryState:
             batch_edge_ids=batch_edge_ids,
             positive=positive,
             degree_filter=degree_filter,
+            shared_pool_cache=shared_pool_cache,
         )
 
 

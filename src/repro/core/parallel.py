@@ -49,6 +49,8 @@ from repro.core.shared_snapshot import (
 from repro.utils.validation import ConfigurationError, check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
     from repro.core.enumeration import EnumerationContext, QueryState, WorkUnit
     from repro.core.results import Embedding
 
@@ -315,36 +317,55 @@ def _unpack_embeddings(packed, positive: bool) -> list["Embedding"]:
     return out
 
 
-def _pool_worker_main(worker_id: int, query_state: "QueryState", task_queue, result_queue):
+def _pool_worker_main(
+    worker_id: int, query_states: "dict[int, QueryState]", task_queue, result_queue
+):
     """Entry point of one persistent pool worker.
 
-    Loops pulling ``(epoch, descriptor, unit_chunk, collect)`` tasks from
-    the shared queue (dynamic load balancing), attaching to the published
-    snapshot once per epoch, and answering each chunk with either a
-    packed embedding array or a bare count.  ``None`` is the shutdown
-    sentinel.
+    Loops pulling ``(epoch, descriptor, query_id, unit_chunk, collect)``
+    tasks from the shared queue (dynamic load balancing), attaching to
+    the published snapshot once per epoch, and answering each chunk with
+    either a packed embedding array or a bare count, tagged with the
+    query id for parent-side routing.  Contexts are built lazily per
+    (epoch, query) and all queries of an epoch share one candidate-pool
+    cache, so a pool scanned for one query is reused by the others.
+    ``None`` is the shutdown sentinel.
     """
     disable_shm_resource_tracking()
     from repro.core.enumeration import WorkUnit
 
     attachment = SnapshotAttachment()
-    context = None
+    trees = {qid: qs.tree for qid, qs in query_states.items()}
+    contexts: dict[int, "EnumerationContext"] = {}
+    # Cross-query sharing only: a single-query pool keeps the per-column
+    # memo alone, so its candidates_scanned matches the serial backend
+    # exactly (the shared cache is keyed without the DEBI column and
+    # would under-count steps that share an anchor pool across columns).
+    multi_query = len(query_states) > 1
+    shared_cache: dict | None = {} if multi_query else None
     current_epoch = None
     try:
         while True:
             task = task_queue.get()
             if task is None:
                 break
-            epoch, descriptor, chunk, collect = task
+            epoch, descriptor, query_id, chunk, collect = task
             try:
                 if epoch != current_epoch:
-                    graph_view, debi, batch_edge_ids = attachment.views(
-                        descriptor, query_state.tree
-                    )
-                    context = query_state.make_context(
-                        graph_view, debi, batch_edge_ids, descriptor["positive"]
-                    )
+                    contexts = {}
+                    shared_cache = {} if multi_query else None
                     current_epoch = epoch
+                context = contexts.get(query_id)
+                if context is None:
+                    graph_view, debis, batch_edge_ids = attachment.views(descriptor, trees)
+                    context = query_states[query_id].make_context(
+                        graph_view,
+                        debis[query_id],
+                        batch_edge_ids,
+                        descriptor["positive"],
+                        shared_pool_cache=shared_cache,
+                    )
+                    contexts[query_id] = context
                 scanned_before = context.candidates_scanned
                 chunk_start = time.perf_counter()
                 embeddings: list["Embedding"] = []
@@ -358,6 +379,7 @@ def _pool_worker_main(worker_id: int, query_state: "QueryState", task_queue, res
                     "ok",
                     epoch,
                     worker_id,
+                    query_id,
                     len(chunk),
                     len(embeddings),
                     payload,
@@ -366,7 +388,9 @@ def _pool_worker_main(worker_id: int, query_state: "QueryState", task_queue, res
                     context.candidates_scanned - scanned_before,
                 ))
             except Exception:  # pragma: no cover - surfaced parent-side as PoolBrokenError
-                result_queue.put(("err", epoch, worker_id, len(chunk), traceback.format_exc()))
+                result_queue.put(
+                    ("err", epoch, worker_id, query_id, len(chunk), traceback.format_exc())
+                )
     finally:
         attachment.detach()
 
@@ -386,7 +410,9 @@ class SharedMemoryPool:
     #: seconds between liveness checks while waiting for results
     _POLL_SECONDS = 1.0
 
-    def __init__(self, query_state: "QueryState", num_workers: int, chunk_size: int) -> None:
+    def __init__(
+        self, query_states: "dict[int, QueryState]", num_workers: int, chunk_size: int
+    ) -> None:
         import multiprocessing as mp
 
         self.num_workers = num_workers
@@ -403,7 +429,7 @@ class SharedMemoryPool:
         self._workers = [
             ctx.Process(
                 target=_pool_worker_main,
-                args=(i, query_state, self._task_queue, self._result_queue),
+                args=(i, query_states, self._task_queue, self._result_queue),
                 daemon=True,
                 name=f"mnemonic-pool-{i}",
             )
@@ -434,19 +460,26 @@ class SharedMemoryPool:
     def create(
         cls, query_state: "QueryState", config: ParallelConfig
     ) -> "SharedMemoryPool | None":
-        """Spawn a pool for ``config``, or return None when unsupported.
+        """Spawn a single-query pool (query id 0), or return None when unsupported."""
+        return cls.create_multi({0: query_state}, config)
 
-        Returns None (caller falls back to the legacy fork-per-batch
-        path) when shared memory is missing or the workers cannot be
-        spawned — e.g. an unpicklable match definition under the spawn
-        start method.
+    @classmethod
+    def create_multi(
+        cls, query_states: "dict[int, QueryState]", config: ParallelConfig
+    ) -> "SharedMemoryPool | None":
+        """Spawn a pool serving every query in ``query_states``, or None.
+
+        Returns None (caller falls back to the legacy fork-per-batch or
+        serial path) when shared memory is missing or the workers cannot
+        be spawned — e.g. an unpicklable match definition under the
+        spawn start method.
         """
         if config.backend != "process" or config.num_workers <= 1:
             return None
-        if not shared_memory_available():
+        if not query_states or not shared_memory_available():
             return None
         try:
-            return cls(query_state, config.num_workers, config.chunk_size)
+            return cls(query_states, config.num_workers, config.chunk_size)
         except Exception:
             warnings.warn(
                 "shared-memory pool spawn failed; the process backend will use "
@@ -460,6 +493,11 @@ class SharedMemoryPool:
     def usable(self) -> bool:
         return not self._broken and not self._closed
 
+    @property
+    def publish_count(self) -> int:
+        """How many snapshot exports this pool has performed (one per publish)."""
+        return self._writer.epoch
+
     # ------------------------------------------------------------------ execution
     def run(
         self,
@@ -468,48 +506,71 @@ class SharedMemoryPool:
         collect: bool = True,
     ) -> EnumerationOutcome:
         """Publish the context's snapshot and enumerate ``units`` on the pool."""
+        return self.run_multi({0: context}, {0: units}, collect=collect)[0]
+
+    def run_multi(
+        self,
+        contexts: "dict[int, EnumerationContext]",
+        units: "dict[int, list[WorkUnit]]",
+        collect: bool = True,
+    ) -> dict[int, EnumerationOutcome]:
+        """Enumerate every query's units over one shared snapshot publication.
+
+        All contexts must wrap the same graph and batch (the multi-query
+        engine guarantees this); the graph is exported **once** and each
+        query contributes only its DEBI buffers.  Work-unit chunks are
+        tagged with their query id, pulled dynamically by the workers
+        from one shared queue, and the packed embeddings coming back are
+        routed to per-query outcomes.
+        """
         import numpy as np
 
         if not self.usable:
             raise PoolBrokenError("pool is closed or broken")
+        reference = next(iter(contexts.values()))
         try:
             descriptor = self._writer.publish(
-                context.graph, context.debi, context.batch_edge_ids, context.positive
+                reference.graph,
+                {qid: ctx.debi for qid, ctx in contexts.items()},
+                reference.batch_edge_ids,
+                reference.positive,
             )
         except Exception as exc:
             self._broken = True
             raise PoolBrokenError(f"snapshot publication failed: {exc}") from exc
 
-        unit_array = np.array(
-            [(u.edge_id, u.start_edge) for u in units], dtype=np.int64
-        ).reshape(len(units), 2)
-        chunks = [
-            unit_array[i : i + self.chunk_size]
-            for i in range(0, len(unit_array), self.chunk_size)
-        ]
         epoch = descriptor["epoch"]
+        tasks: list[tuple] = []
+        for qid, unit_list in units.items():
+            unit_array = np.array(
+                [(u.edge_id, u.start_edge) for u in unit_list], dtype=np.int64
+            ).reshape(len(unit_list), 2)
+            for i in range(0, len(unit_array), self.chunk_size):
+                tasks.append((qid, unit_array[i : i + self.chunk_size]))
         start = time.perf_counter()
-        for chunk in chunks:
-            self._task_queue.put((epoch, descriptor, chunk, collect))
+        for qid, chunk in tasks:
+            self._task_queue.put((epoch, descriptor, qid, chunk, collect))
 
-        stats_by_worker: dict[int, WorkerStats] = {}
-        embeddings: list["Embedding"] = []
-        total = 0
-        scanned = 0
-        pending = len(chunks)
+        stats: dict[tuple[int, int], WorkerStats] = {}
+        embeddings: dict[int, list["Embedding"]] = {qid: [] for qid in contexts}
+        totals = {qid: 0 for qid in contexts}
+        scanned = {qid: 0 for qid in contexts}
+        pending = len(tasks)
         failure: str | None = None
         while pending:
             message = self._next_result()
             pending -= 1
             if message[0] == "err":
-                failure = message[4]
+                failure = message[5]
                 continue
-            _, _, worker_id, n_units, n_found, payload, chunk_start, chunk_end = message[:8]
-            total += n_found
-            scanned += message[8]
+            _, _, worker_id, qid, n_units, n_found, payload, chunk_start, chunk_end = message[:9]
+            totals[qid] += n_found
+            scanned[qid] += message[9]
             if collect and payload is not None:
-                embeddings.extend(_unpack_embeddings(payload, context.positive))
-            st = stats_by_worker.setdefault(worker_id, WorkerStats(worker_id=worker_id))
+                embeddings[qid].extend(
+                    _unpack_embeddings(payload, contexts[qid].positive)
+                )
+            st = stats.setdefault((qid, worker_id), WorkerStats(worker_id=worker_id))
             st.units_processed += n_units
             st.embeddings_found += n_found
             st.busy_seconds += chunk_end - chunk_start
@@ -518,13 +579,19 @@ class SharedMemoryPool:
         if failure is not None:
             self._broken = True
             raise PoolBrokenError(f"pool worker failed:\n{failure}")
-        # Mirror the serial path's context-side counters so traversal
-        # metrics stay comparable across backends.
-        context.candidates_scanned += scanned
-        context.embeddings_found += total
-        return EnumerationOutcome(
-            embeddings, list(stats_by_worker.values()), wall, num_embeddings=total
-        )
+        outcomes: dict[int, EnumerationOutcome] = {}
+        for qid, context in contexts.items():
+            # Mirror the serial path's context-side counters so traversal
+            # metrics stay comparable across backends.
+            context.candidates_scanned += scanned[qid]
+            context.embeddings_found += totals[qid]
+            outcomes[qid] = EnumerationOutcome(
+                embeddings[qid],
+                [st for (owner, _), st in stats.items() if owner == qid],
+                wall,
+                num_embeddings=totals[qid],
+            )
+        return outcomes
 
     def _next_result(self):
         """Fetch one result, polling worker liveness so a crash cannot deadlock."""

@@ -1,0 +1,744 @@
+"""Standing-query registry: many concurrent queries over one dynamic graph.
+
+The paper's engine answers a single continuous query per stream.  A
+matching *service*, however, evaluates many standing queries against the
+same evolving graph, and running one :class:`~repro.core.engine.MnemonicEngine`
+per query multiplies every per-batch cost by the number of queries: the
+graph is mutated N times, N CSR snapshots are exported for the worker
+pools, and the same adjacency pools are re-scanned once per query.
+
+This module factors the per-query half of the engine out into a
+:class:`QueryRuntime` (tree, matching orders, masks, DEBI, index
+manager) and builds a multi-query engine on top of it:
+
+* :class:`QueryRegistry` tracks the standing queries — each with its own
+  :class:`~repro.core.api.MatchDefinition`, matching order and result
+  sink — registered against one shared :class:`~repro.graph.adjacency.DynamicGraph`.
+* :class:`MultiQueryEngine` drives the paper's Algorithm 1 loop once per
+  batch for *all* registered queries: one graph mutation pass, one DEBI
+  update sweep (each query's index is refreshed from the same already-
+  applied edge list), and — with the ``process`` backend — exactly one
+  shared-memory snapshot export per enumeration phase, shared by every
+  query's work units (see :meth:`~repro.core.parallel.SharedMemoryPool.run_multi`).
+* Candidate scans are shared across queries: every enumeration context
+  of a batch hands the same *shared pool cache* to
+  :meth:`~repro.core.enumeration.EnumerationContext.get_candidates_with_endpoints`,
+  so an adjacency partition fetched for one query is reused (and its
+  ``candidates_scanned`` cost not re-charged) by every other query that
+  anchors at the same ``(vertex, direction, edge label)``.
+
+Per-query results are byte-identical to what N independent engines
+would produce: DEBI filtering, duplicate elimination and acceptance all
+stay per-query; only the raw adjacency fetch is shared.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
+
+from repro.core.api import DefaultMatchDefinition, MatchDefinition
+from repro.core.debi import DEBI
+from repro.core.enumeration import (
+    EnumerationContext,
+    QueryState,
+    decompose_batch,
+)
+from repro.core.filtering import IndexManager
+from repro.core.parallel import (
+    EnumerationOutcome,
+    PoolBrokenError,
+    SharedMemoryPool,
+    _run_serial,
+    _run_threads,
+)
+from repro.graph.adjacency import DynamicGraph
+from repro.query.masking import MaskTable
+from repro.query.matching_order import MatchingOrder, build_matching_orders
+from repro.query.query_graph import QueryGraph
+from repro.query.query_tree import QueryTree
+from repro.streams.events import StreamEvent
+from repro.streams.generator import Snapshot, SnapshotGenerator
+from repro.streams.sources import ListSource, StreamSource
+from repro.utils.validation import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import EngineConfig, RunResult, SnapshotResult
+
+#: a result sink: called with ``(query_id, SnapshotResult)`` after every snapshot
+ResultSink = Callable[[int, "SnapshotResult"], None]
+
+
+# ---------------------------------------------------------------------- per-query runtime
+@dataclass
+class QueryRuntime:
+    """The per-query half of an engine: precomputation plus index state.
+
+    Built once per (query, match definition) pair by
+    :func:`build_query_runtime`; owned either by a single
+    :class:`~repro.core.engine.MnemonicEngine` or by one registry slot of
+    a :class:`MultiQueryEngine`.
+    """
+
+    query: QueryGraph
+    match_def: MatchDefinition
+    tree: QueryTree
+    orders: dict[int, MatchingOrder]
+    masks: MaskTable
+    debi: DEBI
+    index_manager: IndexManager
+    query_state: QueryState
+    use_degree_filter: bool = True
+
+    def make_context(
+        self,
+        graph: DynamicGraph,
+        batch_edge_ids: set[int],
+        positive: bool,
+        shared_pool_cache: dict | None = None,
+        spilled_edge_ids: set[int] | None = None,
+        on_spilled_access: Callable[[int], None] | None = None,
+    ) -> EnumerationContext:
+        """Build an enumeration context over the live graph for one batch."""
+        # The f2/f3 label-degree rules require distinct data edges per query
+        # edge, which only holds under injective matching; for homomorphism a
+        # single data edge may witness several query edges, so the filter
+        # would wrongly prune valid embeddings.
+        use_degree = self.use_degree_filter and self.match_def.injective
+        degree_filter = self.index_manager.degree_ok if use_degree else None
+        return EnumerationContext(
+            query=self.query,
+            tree=self.tree,
+            graph=graph,
+            debi=self.debi,
+            orders=self.orders,
+            masks=self.masks,
+            match_def=self.match_def,
+            batch_edge_ids=batch_edge_ids,
+            positive=positive,
+            degree_filter=degree_filter,
+            spilled_edge_ids=spilled_edge_ids,
+            on_spilled_access=on_spilled_access,
+            shared_pool_cache=shared_pool_cache,
+        )
+
+
+def build_query_runtime(
+    query: QueryGraph,
+    match_def: MatchDefinition | None,
+    graph: DynamicGraph,
+    use_degree_filter: bool = True,
+    root: int | None = None,
+) -> QueryRuntime:
+    """InitializeIndex for one query over ``graph`` (tree, orders, masks, DEBI).
+
+    When the graph is non-empty the index is rebuilt immediately, so a
+    query registered mid-stream starts consistent with the live graph.
+    """
+    query.validate()
+    match_def = match_def or DefaultMatchDefinition()
+    data_label_freq: dict[int, int] = {}
+    for vertex in graph.vertices():
+        label = graph.vertex_label(vertex)
+        data_label_freq[label] = data_label_freq.get(label, 0) + 1
+    tree = QueryTree(query, root=root, data_label_frequencies=data_label_freq or None)
+    orders = build_matching_orders(query, tree)
+    masks = MaskTable(query, tree)
+    debi = DEBI(tree)
+    index_manager = IndexManager(
+        query, tree, graph, debi, match_def, use_degree_filter=use_degree_filter
+    )
+    if graph.num_edges:
+        index_manager.rebuild()
+    query_state = QueryState.build(
+        query=query,
+        tree=tree,
+        orders=orders,
+        masks=masks,
+        match_def=match_def,
+        use_degree_filter=use_degree_filter,
+    )
+    return QueryRuntime(
+        query=query,
+        match_def=match_def,
+        tree=tree,
+        orders=orders,
+        masks=masks,
+        debi=debi,
+        index_manager=index_manager,
+        query_state=query_state,
+        use_degree_filter=use_degree_filter,
+    )
+
+
+# ---------------------------------------------------------------------- registry
+@dataclass
+class RegisteredQuery:
+    """One standing query: its runtime, sink, and accumulated results."""
+
+    query_id: int
+    name: str
+    runtime: QueryRuntime
+    sink: ResultSink | None
+    run_result: "RunResult"
+
+
+def resolve_deletions(graph: DynamicGraph, events: Sequence[StreamEvent]) -> list[int]:
+    """Resolve deletion events to concrete live edge ids.
+
+    Among parallel edges the instance with the event's timestamp is
+    preferred (sliding windows expire the oldest instance); otherwise the
+    latest one wins.  Shared by :class:`~repro.core.engine.MnemonicEngine`
+    and :class:`MultiQueryEngine` so the two engines can never diverge on
+    which edge a deletion hits.
+    """
+    doomed_ids: list[int] = []
+    doomed_set: set[int] = set()
+    for event in events:
+        ids = [
+            i for i in graph.find_edges(event.src, event.dst, event.label)
+            if i not in doomed_set
+        ]
+        if not ids:
+            raise ConfigurationError(
+                f"deletion of ({event.src}, {event.dst}, {event.label}) "
+                "does not match a live edge"
+            )
+        preferred = [i for i in ids if graph.edge(i).timestamp == event.timestamp]
+        chosen = preferred[0] if preferred else ids[-1]
+        doomed_ids.append(chosen)
+        doomed_set.add(chosen)
+    return doomed_ids
+
+
+class QueryRegistry:
+    """The set of standing queries registered against one shared graph.
+
+    Registration order is preserved (it fixes the deterministic order in
+    which shared candidate scans are charged on the serial path; pool
+    workers each pay for their own first touch instead).  ``version``
+    increments on every membership change so pool owners know when their
+    worker-side query states are stale.
+    """
+
+    def __init__(self, graph: DynamicGraph, use_degree_filter: bool = True) -> None:
+        self.graph = graph
+        self.use_degree_filter = use_degree_filter
+        self._queries: dict[int, RegisteredQuery] = {}
+        self._next_id = 0
+        #: bumped on register/unregister; consumed by the pool owner
+        self.version = 0
+
+    def register(
+        self,
+        query: QueryGraph,
+        match_def: MatchDefinition | None = None,
+        name: str | None = None,
+        root: int | None = None,
+        sink: ResultSink | None = None,
+    ) -> int:
+        """Add a standing query; returns its query id."""
+        from repro.core.engine import RunResult
+
+        runtime = build_query_runtime(
+            query, match_def, self.graph,
+            use_degree_filter=self.use_degree_filter, root=root,
+        )
+        query_id = self._next_id
+        self._next_id += 1
+        self._queries[query_id] = RegisteredQuery(
+            query_id=query_id,
+            name=name or f"q{query_id}",
+            runtime=runtime,
+            sink=sink,
+            run_result=RunResult(),
+        )
+        self.version += 1
+        return query_id
+
+    def unregister(self, query_id: int) -> "RunResult":
+        """Remove a standing query; returns everything it produced while registered."""
+        try:
+            registered = self._queries.pop(query_id)
+        except KeyError:
+            raise ConfigurationError(f"unknown query id {query_id}") from None
+        self.version += 1
+        return registered.run_result
+
+    # ------------------------------------------------------------------ lookup
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __contains__(self, query_id: int) -> bool:
+        return query_id in self._queries
+
+    def ids(self) -> list[int]:
+        return list(self._queries)
+
+    def get(self, query_id: int) -> RegisteredQuery:
+        try:
+            return self._queries[query_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown query id {query_id}") from None
+
+    def items(self) -> Iterator[tuple[int, RegisteredQuery]]:
+        return iter(list(self._queries.items()))
+
+    def query_states(self) -> dict[int, QueryState]:
+        """The picklable per-query state shipped to pool workers at spawn."""
+        return {qid: rq.runtime.query_state for qid, rq in self._queries.items()}
+
+
+# ---------------------------------------------------------------------- result shapes
+@dataclass
+class MultiSnapshotResult:
+    """What the multi-query engine produced for one snapshot, per query."""
+
+    number: int
+    num_insertions: int
+    num_deletions: int
+    #: shared graph-mutation time for the batch (paid once, not per query)
+    graph_update_seconds: float = 0.0
+    #: shared enumeration wall-clock for the batch; the per-query
+    #: ``enumerate_seconds`` carry attributable busy time instead, so they
+    #: do not sum to N times the wall on the pool backend
+    enumerate_wall_seconds: float = 0.0
+    per_query: dict[int, "SnapshotResult"] = field(default_factory=dict)
+
+    @property
+    def candidates_scanned(self) -> int:
+        return sum(r.candidates_scanned for r in self.per_query.values())
+
+    @property
+    def total_embeddings(self) -> int:
+        return sum(r.total_embeddings for r in self.per_query.values())
+
+
+@dataclass
+class MultiRunResult:
+    """Aggregated output of one multi-query streaming run."""
+
+    snapshots: list[MultiSnapshotResult] = field(default_factory=list)
+    per_query: dict[int, "RunResult"] = field(default_factory=dict)
+
+    def add(self, snapshot: MultiSnapshotResult) -> None:
+        from repro.core.engine import RunResult
+
+        self.snapshots.append(snapshot)
+        for qid, result in snapshot.per_query.items():
+            self.per_query.setdefault(qid, RunResult()).add(result)
+
+    @property
+    def total_candidates_scanned(self) -> int:
+        return sum(s.candidates_scanned for s in self.snapshots)
+
+    @property
+    def total_positive(self) -> int:
+        return sum(r.num_positive for s in self.snapshots for r in s.per_query.values())
+
+    @property
+    def total_negative(self) -> int:
+        return sum(r.num_negative for s in self.snapshots for r in s.per_query.values())
+
+
+# ---------------------------------------------------------------------- the engine
+class MultiQueryEngine:
+    """A shared-everything engine evaluating many standing queries per batch.
+
+    Compared with one :class:`~repro.core.engine.MnemonicEngine` per
+    query, a batch costs:
+
+    * **one** graph mutation pass instead of N,
+    * **one** DEBI update sweep (per-query index refresh over the same
+      already-applied edge batch — no repeated graph work),
+    * **one** shared-memory snapshot export instead of N (``process``
+      backend; all queries' work units are scheduled onto one worker
+      pool with per-query result routing),
+    * shared candidate scans: adjacency pools fetched once per batch and
+      reused by every query anchoring at the same vertex/label.
+
+    Use :meth:`register` / :meth:`unregister` at any point, including
+    mid-stream; a freshly registered query is indexed against the live
+    graph before its first batch.  The engine is a context manager, like
+    the single-query engine.
+    """
+
+    def __init__(
+        self,
+        config: "EngineConfig | None" = None,
+        graph: DynamicGraph | None = None,
+    ) -> None:
+        from repro.core.engine import EngineConfig
+
+        self.config = config or EngineConfig()
+        if self.config.stream.in_memory_window is not None:
+            raise ConfigurationError(
+                "the multi-query engine does not support the external edge store; "
+                "use a dedicated MnemonicEngine for spilling workloads"
+            )
+        self.graph = graph or DynamicGraph(recycle_edge_ids=self.config.recycle_edge_ids)
+        self.registry = QueryRegistry(
+            self.graph, use_degree_filter=self.config.use_degree_filter
+        )
+        self._snapshot_counter = 0
+        #: enumeration phases (insert or delete half of a batch) with >= 1 unit
+        self.enumeration_phases_with_units = 0
+        #: phases dispatched to the shared pool — each publishes exactly one
+        #: snapshot, which is what the perf_smoke sharing gate checks
+        self.pool_enumeration_phases = 0
+        self._pool: SharedMemoryPool | None = None
+        self._pool_finalizer: weakref.finalize | None = None
+        self._pool_version = -1
+        self._exports_before_pool = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ registration
+    def register(
+        self,
+        query: QueryGraph,
+        match_def: MatchDefinition | None = None,
+        name: str | None = None,
+        root: int | None = None,
+        sink: ResultSink | None = None,
+    ) -> int:
+        """Register a standing query against the live graph; returns its id."""
+        return self.registry.register(
+            query, match_def=match_def, name=name, root=root, sink=sink
+        )
+
+    def unregister(self, query_id: int) -> "RunResult":
+        """Drop a standing query; returns its accumulated results."""
+        return self.registry.unregister(query_id)
+
+    # ------------------------------------------------------------------ lifecycle
+    @property
+    def snapshot_exports(self) -> int:
+        """Total shared-memory snapshot publications over the engine lifetime."""
+        current = self._pool.publish_count if self._pool is not None else 0
+        return self._exports_before_pool + current
+
+    def close(self) -> None:
+        """Release the worker pool (exception-safe and idempotent)."""
+        self._closed = True
+        self._release_pool()
+
+    def _release_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        finalizer, self._pool_finalizer = self._pool_finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+        if pool is not None:
+            self._exports_before_pool += pool.publish_count
+            pool.close()
+
+    def __enter__(self) -> "MultiQueryEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            self.close()
+        except Exception:
+            # A teardown failure must not mask the in-flight exception.
+            if exc_type is None:
+                raise
+
+    def _ensure_pool(self) -> SharedMemoryPool | None:
+        """(Re)spawn the shared pool when the registry changed since the last batch.
+
+        Workers receive every query's :class:`QueryState` at spawn, so a
+        register/unregister makes the running pool stale; it is closed
+        and replaced before the next enumeration phase.
+        """
+        parallel = self.config.parallel
+        if self._closed or parallel.backend != "process" or parallel.num_workers <= 1:
+            return None
+        if len(self.registry) == 0:
+            return None
+        if self._pool_version == self.registry.version:
+            # Same membership as the last attempt: reuse the pool, or stay on
+            # the fallback path if that attempt failed or the pool broke —
+            # retrying the full worker spawn every phase would pay the spawn
+            # cost (and emit the failure warning) once per batch.
+            pool = self._pool
+            if pool is not None and not pool.usable:
+                self._release_pool()
+                return None
+            return pool
+        self._release_pool()
+        pool = SharedMemoryPool.create_multi(self.registry.query_states(), parallel)
+        self._pool = pool
+        self._pool_version = self.registry.version
+        if pool is not None:
+            self._pool_finalizer = weakref.finalize(self, SharedMemoryPool.close, pool)
+        return pool
+
+    # ------------------------------------------------------------------ stream API
+    def initialize_stream(self, source: StreamSource | Sequence[StreamEvent]) -> SnapshotGenerator:
+        """Wrap ``source`` in a snapshot generator using the engine's stream config."""
+        if isinstance(source, (list, tuple)):
+            source = ListSource(source)
+        return SnapshotGenerator(source, self.config.stream)
+
+    def load_initial(self, events: Iterable[StreamEvent | tuple]) -> int:
+        """Load an initial graph (insertions only) and index every query for it."""
+        from repro.core.engine import MnemonicEngine
+
+        new_ids = []
+        for event in events:
+            event = MnemonicEngine._coerce_insert(event)
+            new_ids.append(
+                self.graph.add_edge(
+                    event.src, event.dst, event.label, event.timestamp,
+                    src_label=event.src_label, dst_label=event.dst_label,
+                )
+            )
+        for _, registered in self.registry.items():
+            registered.runtime.index_manager.handle_insertions(new_ids)
+        return len(new_ids)
+
+    def run(self, source: StreamSource | Sequence[StreamEvent]) -> MultiRunResult:
+        """Process the whole stream for every registered query (Algorithm 1, shared)."""
+        result = MultiRunResult()
+        for snapshot in self.initialize_stream(source):
+            result.add(self.process_snapshot(snapshot))
+        return result
+
+    def process_snapshot(self, snapshot: Snapshot) -> MultiSnapshotResult:
+        """Apply one snapshot for all queries: insert batch first, then delete batch."""
+        multi = self._new_result(
+            number=snapshot.number,
+            num_insertions=len(snapshot.insertions),
+            num_deletions=len(snapshot.deletions),
+        )
+        if snapshot.insertions:
+            self._process_insert_batch(snapshot.insertions, multi)
+        if snapshot.deletions:
+            self._process_delete_batch(snapshot.deletions, multi)
+        self._finalize_snapshot(multi)
+        return multi
+
+    def batch_inserts(self, events: Iterable[StreamEvent | tuple]) -> MultiSnapshotResult:
+        """Insert a batch of edges; returns the newly formed embeddings per query."""
+        from repro.core.engine import MnemonicEngine
+
+        events = [MnemonicEngine._coerce_insert(e) for e in events]
+        multi = self._new_result(
+            number=self._snapshot_counter, num_insertions=len(events), num_deletions=0
+        )
+        self._process_insert_batch(events, multi)
+        self._finalize_snapshot(multi)
+        return multi
+
+    def batch_deletes(self, events: Iterable[StreamEvent | tuple]) -> MultiSnapshotResult:
+        """Delete a batch of edges; returns the destroyed embeddings per query."""
+        coerced = [
+            e if isinstance(e, StreamEvent) else StreamEvent.delete(*e) for e in events
+        ]
+        multi = self._new_result(
+            number=self._snapshot_counter, num_insertions=0, num_deletions=len(coerced)
+        )
+        self._process_delete_batch(coerced, multi)
+        self._finalize_snapshot(multi)
+        return multi
+
+    # ------------------------------------------------------------------ batch plumbing
+    def _new_result(self, number: int, num_insertions: int, num_deletions: int) -> MultiSnapshotResult:
+        from repro.core.engine import SnapshotResult
+
+        multi = MultiSnapshotResult(
+            number=number, num_insertions=num_insertions, num_deletions=num_deletions
+        )
+        for qid in self.registry.ids():
+            multi.per_query[qid] = SnapshotResult(
+                number=number,
+                num_insertions=num_insertions,
+                num_deletions=num_deletions,
+            )
+        return multi
+
+    def _finalize_snapshot(self, multi: MultiSnapshotResult) -> None:
+        for qid, result in multi.per_query.items():
+            if qid not in self.registry:  # unregistered by a sink mid-batch
+                continue
+            registered = self.registry.get(qid)
+            result.live_edges = self.graph.num_edges
+            result.edge_placeholders = self.graph.num_placeholders
+            result.debi_bits = registered.runtime.debi.total_bits_set()
+            registered.run_result.add(result)
+            if registered.sink is not None:
+                registered.sink(qid, result)
+        self.graph.stats.sample_snapshot(
+            multi.number, self.graph.num_placeholders, self.graph.num_edges
+        )
+        self._snapshot_counter += 1
+
+    def _process_insert_batch(self, events: Sequence[StreamEvent], multi: MultiSnapshotResult) -> None:
+        import time as _time
+
+        update_start = _time.perf_counter()
+        new_ids = [
+            self.graph.add_edge(
+                event.src, event.dst, event.label, event.timestamp,
+                src_label=event.src_label, dst_label=event.dst_label,
+            )
+            for event in events
+        ]
+        multi.graph_update_seconds += _time.perf_counter() - update_start
+
+        batch = set(new_ids)
+        shared_cache = self._new_shared_cache()
+        contexts: dict[int, EnumerationContext] = {}
+        units: dict[int, list] = {}
+        for qid, registered in self.registry.items():
+            result = multi.per_query[qid]
+            filter_start = _time.perf_counter()
+            frontier = registered.runtime.index_manager.handle_insertions(new_ids)
+            result.filter_seconds += _time.perf_counter() - filter_start
+            result.filter_traversals += frontier.traversed_edges
+            context = registered.runtime.make_context(
+                self.graph, batch, positive=True, shared_pool_cache=shared_cache
+            )
+            contexts[qid] = context
+            units[qid] = decompose_batch(context, new_ids)
+            result.work_units += len(units[qid])
+
+        enum_start = _time.perf_counter()
+        outcomes = self._enumerate(contexts, units)
+        multi.enumerate_wall_seconds += _time.perf_counter() - enum_start
+        for qid, outcome in outcomes.items():
+            result = multi.per_query[qid]
+            result.enumerate_seconds += self._attributable_seconds(outcome)
+            result.candidates_scanned += contexts[qid].candidates_scanned
+            result.num_positive += outcome.num_embeddings
+            result.enumeration_outcomes.append(outcome)
+            if self.config.collect_embeddings:
+                result.positive_embeddings.extend(outcome.embeddings)
+
+    def _process_delete_batch(self, events: Sequence[StreamEvent], multi: MultiSnapshotResult) -> None:
+        import time as _time
+
+        start = _time.perf_counter()
+        doomed_ids = resolve_deletions(self.graph, events)
+        multi.graph_update_seconds += _time.perf_counter() - start
+
+        # Enumerate the embeddings about to be destroyed — for every query,
+        # before any mutation.
+        doomed_set = set(doomed_ids)
+        shared_cache = self._new_shared_cache()
+        contexts: dict[int, EnumerationContext] = {}
+        units: dict[int, list] = {}
+        for qid, registered in self.registry.items():
+            context = registered.runtime.make_context(
+                self.graph, doomed_set, positive=False, shared_pool_cache=shared_cache
+            )
+            contexts[qid] = context
+            units[qid] = decompose_batch(context, doomed_ids)
+            multi.per_query[qid].work_units += len(units[qid])
+        enum_start = _time.perf_counter()
+        outcomes = self._enumerate(contexts, units)
+        multi.enumerate_wall_seconds += _time.perf_counter() - enum_start
+
+        # One mutation pass: capture every query's row mask, delete the edge
+        # once, clear every query's DEBI row.
+        deleted: list[tuple] = []
+        for edge_id in doomed_ids:
+            row_masks = {
+                qid: registered.runtime.debi.row(edge_id)
+                for qid, registered in self.registry.items()
+            }
+            record = self.graph.delete_edge(edge_id)
+            for qid, registered in self.registry.items():
+                registered.runtime.debi.clear_edge(edge_id)
+            deleted.append((record, row_masks))
+
+        for qid, registered in self.registry.items():
+            result = multi.per_query[qid]
+            filter_start = _time.perf_counter()
+            frontier = registered.runtime.index_manager.handle_deletions(
+                [(record, masks[qid]) for record, masks in deleted]
+            )
+            result.filter_seconds += _time.perf_counter() - filter_start
+            result.filter_traversals += frontier.traversed_edges
+
+        for qid, outcome in outcomes.items():
+            result = multi.per_query[qid]
+            result.enumerate_seconds += self._attributable_seconds(outcome)
+            result.candidates_scanned += contexts[qid].candidates_scanned
+            result.num_negative += outcome.num_embeddings
+            result.enumeration_outcomes.append(outcome)
+            if self.config.collect_embeddings:
+                result.negative_embeddings.extend(outcome.embeddings)
+
+    def _new_shared_cache(self) -> dict | None:
+        """A cross-query candidate-pool cache for one enumeration phase.
+
+        Only created when at least two queries can share it: with a single
+        registered query the cache would merge scans across DEBI columns
+        and make ``candidates_scanned`` incomparable with a plain
+        :class:`~repro.core.engine.MnemonicEngine` on the same workload.
+        """
+        return {} if len(self.registry) > 1 else None
+
+    @staticmethod
+    def _attributable_seconds(outcome: EnumerationOutcome) -> float:
+        """Per-query enumeration time: worker busy time, not the shared wall.
+
+        On the pool backend every query's outcome shares one phase wall;
+        charging it to each query would make the per-query timings sum to
+        N times the actual elapsed time.  Busy time is attributable on
+        every backend (for serial outcomes it is the per-unit time sum).
+        """
+        return sum(stats.busy_seconds for stats in outcome.worker_stats)
+
+    # ------------------------------------------------------------------ enumeration
+    def _enumerate(
+        self,
+        contexts: dict[int, EnumerationContext],
+        units: dict[int, list],
+    ) -> dict[int, EnumerationOutcome]:
+        """Run every query's units, sharing one snapshot export on the pool path."""
+        import warnings
+
+        total_units = sum(len(u) for u in units.values())
+        if total_units == 0:
+            return {qid: EnumerationOutcome([], [], 0.0) for qid in contexts}
+        self.enumeration_phases_with_units += 1
+
+        pool = self._ensure_pool()
+        if pool is not None and pool.usable and self._publish_amortized(total_units):
+            self.pool_enumeration_phases += 1
+            try:
+                return pool.run_multi(
+                    contexts, units, collect=self.config.collect_embeddings
+                )
+            except PoolBrokenError as exc:
+                self._release_pool()
+                warnings.warn(
+                    f"shared-memory pool failed mid-run ({exc}); multi-query "
+                    "enumeration falls back to the serial path",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+        parallel = self.config.parallel
+        if parallel.backend == "thread" and parallel.num_workers > 1:
+            return {
+                qid: _run_threads(contexts[qid], units[qid], parallel.num_workers)
+                for qid in contexts
+            }
+        return {qid: _run_serial(contexts[qid], units[qid]) for qid in contexts}
+
+    def _publish_amortized(self, total_units: int) -> bool:
+        """Is the batch big enough to amortise one O(V + E) snapshot export?
+
+        Same heuristic as the single-query dispatcher
+        (:func:`~repro.core.parallel.run_enumeration`): a phase must carry
+        enough units per worker AND enough units relative to the graph size,
+        or the publication would dominate and the serial path wins.
+        """
+        placeholders = getattr(self.graph, "num_placeholders", 0)
+        return (
+            total_units >= 2 * self.config.parallel.num_workers
+            and total_units * 1000 >= placeholders
+        )

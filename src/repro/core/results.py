@@ -9,7 +9,7 @@ existed before the batch and are destroyed by it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 
@@ -106,3 +106,31 @@ class ResultSet:
 
     def __contains__(self, embedding: Embedding) -> bool:
         return embedding.identity() in self._identities
+
+
+class CollectingSink:
+    """A result sink for standing queries: per-query :class:`ResultSet` routing.
+
+    The multi-query engine calls registered sinks with
+    ``(query_id, SnapshotResult)`` after every snapshot; this default
+    implementation files the positive and negative embeddings of each
+    query into its own deduplicating :class:`ResultSet`.  Use it when a
+    service wants the matches, not the per-snapshot timing breakdown::
+
+        sink = CollectingSink()
+        engine.register(query_a, sink=sink)
+        engine.register(query_b, sink=sink)
+        engine.run(stream)
+        matches = sink.results  # query_id -> ResultSet
+    """
+
+    def __init__(self) -> None:
+        self.results: dict[int, ResultSet] = {}
+        #: snapshots seen per query (sinks fire even on empty snapshots)
+        self.snapshots_seen: dict[int, int] = {}
+
+    def __call__(self, query_id: int, snapshot_result) -> None:
+        result_set = self.results.setdefault(query_id, ResultSet())
+        self.snapshots_seen[query_id] = self.snapshots_seen.get(query_id, 0) + 1
+        result_set.extend(snapshot_result.positive_embeddings)
+        result_set.extend(snapshot_result.negative_embeddings)

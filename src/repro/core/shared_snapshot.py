@@ -40,6 +40,8 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.shared_memory import SharedMemory
+
     from repro.core.debi import DEBI
     from repro.graph.adjacency import CSRSnapshot, DynamicGraph
 
@@ -85,28 +87,41 @@ class SharedSnapshotWriter:
     """Parent-side publisher: copies snapshot arrays into one shm segment."""
 
     def __init__(self) -> None:
-        self._shm = None
+        self._shm: "SharedMemory | None" = None
         self._epoch = 0
 
     # ------------------------------------------------------------------ publication
     def publish(
         self,
         graph: "DynamicGraph",
-        debi: "DEBI",
+        debis: "DEBI | dict[int, DEBI]",
         batch_edge_ids,
         positive: bool,
     ) -> dict:
         """Copy the current snapshot into shared memory; return its descriptor.
 
-        The descriptor is a small picklable dict: segment name, epoch, the
-        layout of every array (dtype / shape / byte offset) and the scalar
-        metadata workers need to rebuild graph + DEBI views.
+        ``debis`` is either one index (single-query engine) or a
+        ``query_id -> DEBI`` mapping (multi-query engine); either way the
+        graph is exported **once** and every index rides in the same
+        segment.  The descriptor is a small picklable dict: segment name,
+        epoch, the layout of every array (dtype / shape / byte offset)
+        and the scalar metadata workers need to rebuild graph + DEBI
+        views.
         """
+        if not isinstance(debis, dict):
+            debis = {0: debis}
         csr = graph.export_csr()
-        debi_buffers = debi.export_buffers()
         arrays = dict(csr.arrays())
-        arrays["debi_rows"] = debi_buffers["rows"]
-        arrays["debi_roots"] = debi_buffers["roots"]
+        debi_meta: dict[int, dict] = {}
+        for qid, debi in debis.items():
+            buffers = debi.export_buffers()
+            arrays[f"debi_rows_{qid}"] = buffers["rows"]
+            arrays[f"debi_roots_{qid}"] = buffers["roots"]
+            debi_meta[qid] = {
+                "num_rows": buffers["num_rows"],
+                "width": buffers["width"],
+                "root_bits": buffers["root_bits"],
+            }
         arrays["batch_edges"] = np.fromiter(
             batch_edge_ids, dtype=np.int64, count=len(batch_edge_ids)
         )
@@ -133,9 +148,7 @@ class SharedSnapshotWriter:
             "epoch": self._epoch,
             "layout": layout,
             "num_live_edges": csr.num_live_edges,
-            "debi_num_rows": debi_buffers["num_rows"],
-            "debi_width": debi_buffers["width"],
-            "debi_root_bits": debi_buffers["root_bits"],
+            "debi_meta": debi_meta,
             "positive": positive,
         }
 
@@ -173,13 +186,19 @@ class SnapshotAttachment:
     """
 
     def __init__(self) -> None:
-        self._shm = None
+        self._shm: "SharedMemory | None" = None
         self._name: str | None = None
         self._epoch: int | None = None
         self._views: tuple | None = None
 
-    def views(self, descriptor: dict, tree) -> tuple:
-        """Return ``(graph_view, debi, batch_edge_ids)`` for ``descriptor``."""
+    def views(self, descriptor: dict, trees) -> tuple:
+        """Return ``(graph_view, debis, batch_edge_ids)`` for ``descriptor``.
+
+        ``trees`` mirrors what was published: pass one
+        :class:`~repro.query.query_tree.QueryTree` to get a single DEBI
+        back (single-query engines), or a ``query_id -> tree`` mapping to
+        get a ``query_id -> DEBI`` mapping (multi-query pool workers).
+        """
         if descriptor["epoch"] == self._epoch and self._views is not None:
             return self._views
         from multiprocessing import shared_memory
@@ -222,17 +241,24 @@ class SnapshotAttachment:
             num_live_edges=descriptor["num_live_edges"],
         )
         graph_view = CSRGraphView(csr)
-        debi = DEBI.attach_buffers(
-            tree,
-            rows=arrays["debi_rows"],
-            num_rows=descriptor["debi_num_rows"],
-            width=descriptor["debi_width"],
-            roots=arrays["debi_roots"],
-            root_bits=descriptor["debi_root_bits"],
-        )
+        single = not isinstance(trees, dict)
+        debis: dict[int, DEBI] = {}
+        for qid, meta in descriptor["debi_meta"].items():
+            debis[qid] = DEBI.attach_buffers(
+                trees if single else trees[qid],
+                rows=arrays[f"debi_rows_{qid}"],
+                num_rows=meta["num_rows"],
+                width=meta["width"],
+                roots=arrays[f"debi_roots_{qid}"],
+                root_bits=meta["root_bits"],
+            )
         batch_edge_ids = set(arrays["batch_edges"].tolist())
         self._epoch = descriptor["epoch"]
-        self._views = (graph_view, debi, batch_edge_ids)
+        self._views = (
+            graph_view,
+            next(iter(debis.values())) if single else debis,
+            batch_edge_ids,
+        )
         return self._views
 
     def detach(self) -> None:

@@ -33,7 +33,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-from repro.graph.edge import EdgeRecord, EdgeTriple
+from repro.graph.edge import EdgeRecord
 from repro.graph.stats import PlaceholderStats
 from repro.utils.validation import GraphError
 

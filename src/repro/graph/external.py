@@ -26,7 +26,7 @@ import pickle
 import tempfile
 import time
 from collections import OrderedDict, defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.graph.edge import EdgeRecord
 from repro.utils.validation import check_positive

@@ -11,7 +11,7 @@ ranks' total/partial order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.utils.validation import QueryError

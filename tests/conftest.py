@@ -13,11 +13,10 @@ The most important pieces are:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import pytest
 
-from repro.core.api import MatchDefinition
 from repro.graph.adjacency import DynamicGraph
 from repro.query.query_graph import QueryGraph, WILDCARD_LABEL
 from repro.streams.events import StreamEvent

@@ -15,7 +15,6 @@ from repro.core.parallel import ParallelConfig
 from repro.datasets import NetFlowConfig, generate_netflow_stream, graph_from_events
 from repro.matchers import HomomorphismMatcher
 from repro.query.generator import QueryGenerator
-from repro.streams.config import StreamType
 
 
 @pytest.fixture(scope="module")

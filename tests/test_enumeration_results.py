@@ -1,8 +1,6 @@
 """Unit tests for embeddings, result sets, work decomposition and enumeration."""
 
-import pytest
 
-from repro.core.api import DefaultMatchDefinition
 from repro.core.engine import MnemonicEngine, enumerate_static
 from repro.core.enumeration import WorkUnit, decompose_batch
 from repro.core.results import Embedding, ResultSet

@@ -9,7 +9,6 @@ invariants (DEBI definition, duplicate-freedom, consistency with a
 from-scratch run on the final graph).
 """
 
-import pytest
 
 from repro.baselines import CECIMatcher
 from repro.core.engine import EngineConfig, MnemonicEngine

@@ -14,16 +14,14 @@ from repro.datasets import (
     LANLConfig,
     LSBenchConfig,
     NetFlowConfig,
-    build_query_workload,
     generate_lanl_stream,
     generate_lsbench_stream,
     generate_netflow_stream,
     graph_from_events,
 )
-from repro.matchers import IsomorphismMatcher
 from repro.query.generator import QueryGenerator
 from repro.streams.config import StreamConfig, StreamType
-from repro.streams.events import EventKind, StreamEvent
+from repro.streams.events import EventKind
 
 
 class TestNetFlowPipeline:

@@ -61,8 +61,8 @@ def check_partition_invariants(graph: DynamicGraph, live: list[tuple[int, int, i
             out_part = graph.out_edges_with_label(vertex, label).tolist()
             in_part = graph.in_edges_with_label(vertex, label).tolist()
             # Partition contents = the label-filtered slice of the truth.
-            assert Counter(out_part) == Counter(e for e, l in expected_out if l == label)
-            assert Counter(in_part) == Counter(e for e, l in expected_in if l == label)
+            assert Counter(out_part) == Counter(e for e, lab in expected_out if lab == label)
+            assert Counter(in_part) == Counter(e for e, lab in expected_in if lab == label)
             # O(1) label degrees come from partition sizes.
             assert graph.out_label_degree(vertex, label) == len(out_part)
             assert graph.in_label_degree(vertex, label) == len(in_part)

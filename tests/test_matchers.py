@@ -1,6 +1,5 @@
 """Unit tests for the matching variants programmed on the Mnemonic API."""
 
-import pytest
 
 from repro.core.api import DefaultMatchDefinition, MatchDefinition, default_edge_matcher
 from repro.core.engine import MnemonicEngine, enumerate_static

@@ -1,6 +1,5 @@
 """Unit tests for dual / strong simulation and the DEBI-seeded incremental variant."""
 
-import pytest
 
 from repro.core.engine import MnemonicEngine
 from repro.graph.adjacency import DynamicGraph
