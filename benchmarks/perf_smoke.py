@@ -17,6 +17,12 @@ sets must be identical to the independent runs, and the process-backend
 pass must publish exactly one shared-memory snapshot per enumeration
 phase (instead of one per query per batch).
 
+The ``pipeline_parity`` gate protects the pipelined execution mode: on
+an insert+delete stream, ``pipeline="pipelined"`` must produce
+bit-identical positive *and* negative result sets to the serial mode,
+and every pool-dispatched phase must publish exactly one epoch (the
+double-buffered writer never publishes more or fewer).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py                    # gate vs baseline
@@ -34,6 +40,8 @@ from repro.bench.harness import run_mnemonic_stream, run_multi_query_stream
 from repro.bench.metrics import traversals_per_update
 from repro.core.parallel import ParallelConfig
 from repro.datasets import NetFlowConfig, build_query_workload, generate_netflow_stream
+from repro.streams.config import StreamType
+from repro.streams.events import EventKind, StreamEvent
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 BASELINE_PATH = os.path.join(HERE, "perf_baseline.json")
@@ -104,6 +112,85 @@ def positive_identities(run_result) -> set:
         for snapshot in run_result.snapshots
         for e in snapshot.positive_embeddings
     }
+
+
+def negative_identities(run_result) -> set:
+    return {
+        e.identity()
+        for snapshot in run_result.snapshots
+        for e in snapshot.negative_embeddings
+    }
+
+
+def run_pipeline_parity(stream) -> tuple[dict, list[str]]:
+    """The pipelined-execution gate: serial vs pipelined on insert+delete.
+
+    Overlapping batch k+1's mutations with batch k's enumeration must not
+    change a single embedding — positive or negative — and each
+    pool-dispatched phase must publish exactly one epoch.  Returns the
+    metrics row for ``BENCH_pr.json`` plus the violated invariants.
+    """
+    workload = build_query_workload(
+        stream, tree_sizes=(3, 6), graph_sizes=(6,),
+        queries_per_suite=1, prefix=2000, seed=11,
+    )
+    prefix = len(stream) - FIG06_SUFFIX
+    # Mixed workload: the streamed suffix plus deletions of every second
+    # streamed insertion (so delete batches hit live, indexed edges).
+    suffix = stream[prefix:]
+    deletes = [
+        StreamEvent.delete(e.src, e.dst, e.label, timestamp=e.timestamp)
+        for e in suffix[::2]
+        if e.kind is EventKind.INSERT
+    ]
+    mixed = list(stream[:prefix]) + list(suffix) + deletes
+    parallel = ParallelConfig(backend="process", num_workers=2, chunk_size=32)
+    failures: list[str] = []
+    metrics: dict[str, dict] = {}
+    for suite, query in workload:
+        runs = {}
+        for mode in ("serial", "pipelined"):
+            runs[mode] = run_mnemonic_stream(
+                query, mixed, initial_prefix=prefix, batch_size=FIG06_BATCH,
+                stream_type=StreamType.INSERT_DELETE, collect_embeddings=True,
+                parallel=parallel, pipeline=mode, query_name=suite,
+            )
+        serial, pipelined = runs["serial"], runs["pipelined"]
+        if positive_identities(pipelined.run_result) != positive_identities(
+            serial.run_result
+        ):
+            failures.append(
+                f"pipeline_parity/{suite}: pipelined positive results differ from serial"
+            )
+        if negative_identities(pipelined.run_result) != negative_identities(
+            serial.run_result
+        ):
+            failures.append(
+                f"pipeline_parity/{suite}: pipelined negative results differ from serial"
+            )
+        exports = pipelined.extra["snapshot_exports"]
+        pool_phases = pipelined.extra["pool_phases"]
+        if pool_phases == 0:
+            failures.append(
+                f"pipeline_parity/{suite}: no phase was dispatched to the pool "
+                "(pool unavailable?)"
+            )
+        elif exports != pool_phases:
+            failures.append(
+                f"pipeline_parity/{suite}: expected exactly one epoch per "
+                f"dispatched phase, got {exports} epochs for {pool_phases} phases"
+            )
+        metrics[suite] = {
+            "seconds": pipelined.seconds,
+            "serial_seconds": serial.seconds,
+            "candidates_scanned": pipelined.extra["candidates_scanned"],
+            "snapshot_exports": exports,
+            "pool_phases": pool_phases,
+            "enumeration_phases": pipelined.extra["enumeration_phases"],
+            "positive": pipelined.embeddings,
+            "negative": pipelined.negative_embeddings,
+        }
+    return metrics, failures
 
 
 def run_multi_query(stream) -> tuple[dict, list[str]]:
@@ -232,10 +319,13 @@ def main(argv: list[str] | None = None) -> int:
 
     stream, workload = build_workload()
     multi_metrics, sharing_failures = run_multi_query(stream)
+    parity_metrics, parity_failures = run_pipeline_parity(stream)
+    sharing_failures.extend(parity_failures)
     current = {
         "fig06": run_fig06(stream, workload),
         "fig08": run_fig08(stream, workload),
         "multi_query": multi_metrics,
+        "pipeline_parity": parity_metrics,
     }
 
     with open(OUTPUT_PATH, "w", encoding="utf-8") as fh:
@@ -249,7 +339,7 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     if sharing_failures:
-        print("multi-query sharing gate FAILED:", file=sys.stderr)
+        print("multi-query sharing / pipeline parity gate FAILED:", file=sys.stderr)
         for line in sharing_failures:
             print(f"  {line}", file=sys.stderr)
         return 1

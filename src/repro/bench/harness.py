@@ -64,13 +64,16 @@ def run_mnemonic_stream(
     in_memory_window: int | None = None,
     collect_embeddings: bool = False,
     recycle_edge_ids: bool = True,
+    pipeline: str = "serial",
     query_name: str = "query",
 ) -> BenchRun:
     """Run the Mnemonic engine over ``stream`` and time the streaming part.
 
     The first ``initial_prefix`` events are loaded (and indexed) before the
     clock starts, mirroring the paper's setup where the remainder of the
-    trace forms the initial graph snapshot.
+    trace forms the initial graph snapshot.  ``pipeline="pipelined"``
+    overlaps batch k+1's mutation/publish work with batch k's pool
+    enumeration (results are bit-identical to serial).
     """
     config = EngineConfig(
         stream=StreamConfig(
@@ -83,6 +86,7 @@ def run_mnemonic_stream(
         parallel=parallel or ParallelConfig(),
         collect_embeddings=collect_embeddings,
         recycle_edge_ids=recycle_edge_ids,
+        pipeline=pipeline,
     )
     # Engine construction spawns the persistent worker pool (process
     # backend), so pool start-up is part of setup — not of the measured
@@ -109,6 +113,9 @@ def run_mnemonic_stream(
                 "placeholders": engine.graph.num_placeholders,
                 "live_edges": engine.graph.num_edges,
                 "debi_bits": engine.debi.total_bits_set(),
+                "snapshot_exports": engine.snapshot_exports,
+                "enumeration_phases": engine.enumeration_phases_with_units,
+                "pool_phases": engine.pool_enumeration_phases,
             },
             run_result=result,
         )
@@ -143,6 +150,7 @@ def run_multi_query_stream(
     stream_type: StreamType = StreamType.INSERT_ONLY,
     parallel: ParallelConfig | None = None,
     collect_embeddings: bool = False,
+    pipeline: str = "serial",
     query_names_unique: bool = True,
 ) -> MultiQueryBenchRun:
     """Run every query as a standing query of one shared multi-query engine.
@@ -158,6 +166,7 @@ def run_multi_query_stream(
         stream=StreamConfig(stream_type=stream_type, batch_size=batch_size),
         parallel=parallel or ParallelConfig(),
         collect_embeddings=collect_embeddings,
+        pipeline=pipeline,
     )
     with MultiQueryEngine(config=config) as engine:
         name_by_id = {

@@ -16,20 +16,20 @@ resets, and disk spill of old edges + DEBI rows through
 
 from __future__ import annotations
 
-import weakref
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.api import MatchDefinition
-from repro.core.enumeration import EnumerationContext, decompose_batch
+from repro.core.enumeration import EnumerationContext
 from repro.core.parallel import (
     EnumerationOutcome,
     ParallelConfig,
+    PoolOwnerMixin,
     SharedMemoryPool,
-    run_enumeration,
 )
-from repro.core.registry import build_query_runtime, resolve_deletions
+from repro.core.pipeline import BatchPipeline, CompletedBatch
+from repro.core.registry import QueryRuntime, build_query_runtime
 from repro.core.results import Embedding, ResultSet
 from repro.graph.adjacency import DynamicGraph
 from repro.graph.external import ExternalEdgeStore
@@ -48,6 +48,11 @@ class EngineConfig:
 
     stream: StreamConfig = field(default_factory=StreamConfig)
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    #: batch execution mode: "serial" runs every phase to completion before
+    #: the next mutation; "pipelined" overlaps batch k+1's mutation/DEBI/
+    #: publish work with batch k's pool enumeration (process backend; other
+    #: configurations degenerate to serial).  Results are bit-identical.
+    pipeline: str = "serial"
     #: apply the f2/f3 label-degree pruning during enumeration
     use_degree_filter: bool = True
     #: recycle edge ids / DEBI rows of deleted edges (Figure 17 "with reclaiming")
@@ -139,8 +144,15 @@ class RunResult:
         return net
 
 
-class MnemonicEngine:
-    """A programmable, incremental subgraph matching engine for streaming graphs."""
+class MnemonicEngine(PoolOwnerMixin):
+    """A programmable, incremental subgraph matching engine for streaming graphs.
+
+    The per-batch loop itself lives in
+    :class:`~repro.core.pipeline.BatchPipeline` (shared with the
+    multi-query engine); this class owns the single-query runtime, the
+    worker pool and the external-memory support, and supplies them to
+    the pipeline through the host hooks.
+    """
 
     def __init__(
         self,
@@ -181,6 +193,11 @@ class MnemonicEngine:
 
         self.timer = Timer()
         self._snapshot_counter = 0
+        #: end-of-batch footprints captured at mutation time (pipelined runs
+        #: may drain a batch's enumeration only after later mutations)
+        self._footprints: dict[int, tuple[int, int, int]] = {}
+        #: epochs published by pools released earlier in this engine's life
+        self._exports_before_pool = 0
 
         # --- persistent parallel enumeration pool (process backend).
         # Spawned once per engine lifetime; each batch republishes the
@@ -189,15 +206,15 @@ class MnemonicEngine:
         # With an external edge store every context carries spill callbacks
         # the pool cannot ship across processes, so the pool would never be
         # used — don't spawn idle workers for that configuration.
-        self._pool = (
+        self._adopt_pool(
             None
             if self.external_store is not None
             else SharedMemoryPool.create(self.query_state, self.config.parallel)
         )
-        self._pool_finalizer = (
-            weakref.finalize(self, SharedMemoryPool.close, self._pool)
-            if self._pool is not None
-            else None
+
+        # --- the shared batch-execution loop (serial or pipelined).
+        self._pipeline = BatchPipeline(
+            self, mode=self.config.pipeline, fallback="fork"
         )
 
     # ------------------------------------------------------------------ lifecycle
@@ -213,11 +230,18 @@ class MnemonicEngine:
         engine as a context manager) so worker processes do not outlive
         their usefulness.
         """
-        pool, self._pool = self._pool, None
-        finalizer, self._pool_finalizer = self._pool_finalizer, None
-        if finalizer is not None:
-            finalizer.detach()
+        pipeline = getattr(self, "_pipeline", None)
+        if pipeline is not None and self._pool is not None and self._pool.usable:
+            # A run abandoned mid-stream may still have dispatched epochs;
+            # join them before the segments are unlinked.
+            pipeline.flush()
+        self._harvest_and_close_pool()
+
+    def _harvest_and_close_pool(self) -> None:
+        """Close the pool, folding its epoch count into the lifetime total."""
+        pool = self._detach_pool()
         if pool is not None:
+            self._exports_before_pool += getattr(pool, "publish_count", 0)
             pool.close()
 
     def __enter__(self) -> "MnemonicEngine":
@@ -263,146 +287,161 @@ class MnemonicEngine:
 
     # ------------------------------------------------------------------ main loop
     def run(self, source: StreamSource | Sequence[StreamEvent]) -> RunResult:
-        """Process the whole stream and return per-snapshot results (Algorithm 1)."""
+        """Process the whole stream and return per-snapshot results (Algorithm 1).
+
+        With ``config.pipeline == "pipelined"`` the shared
+        :class:`~repro.core.pipeline.BatchPipeline` overlaps batch k+1's
+        mutation/DEBI/publish work with batch k's pool enumeration;
+        results are identical to the serial mode either way.
+        """
         generator = self.initialize_stream(source)
         result = RunResult()
-        for snapshot in generator:
-            result.add(self.process_snapshot(snapshot))
+        for batch in self._pipeline.run_stream(generator):
+            result.add(self._result_from_batch(batch))
         return result
 
     def process_snapshot(self, snapshot: Snapshot) -> SnapshotResult:
-        """Apply one snapshot: insert batch first, then delete batch."""
-        result = SnapshotResult(
-            number=snapshot.number,
-            num_insertions=len(snapshot.insertions),
-            num_deletions=len(snapshot.deletions),
+        """Apply one snapshot: insert batch first, then delete batch (serially)."""
+        batch = self._pipeline.process_batch(
+            snapshot.number, snapshot.insertions, snapshot.deletions
         )
-        if snapshot.insertions:
-            self._process_insert_batch(snapshot.insertions, result)
-        if snapshot.deletions:
-            self._process_delete_batch(snapshot.deletions, result)
-        self._maybe_spill()
-        result.live_edges = self.graph.num_edges
-        result.edge_placeholders = self.graph.num_placeholders
-        result.debi_bits = self.debi.total_bits_set()
-        self.graph.stats.sample_snapshot(
-            snapshot.number, self.graph.num_placeholders, self.graph.num_edges
-        )
-        self._snapshot_counter += 1
-        return result
+        self.pipeline_batch_applied(batch)
+        return self._result_from_batch(batch)
 
-    # ------------------------------------------------------------------ insert path
+    # ------------------------------------------------------------------ one-shot batches
     def batch_inserts(self, events: Iterable[StreamEvent | tuple]) -> SnapshotResult:
         """Insert a batch of edges and return the newly formed embeddings."""
         events = [self._coerce_insert(e) for e in events]
-        result = SnapshotResult(number=self._snapshot_counter, num_insertions=len(events),
-                                num_deletions=0)
-        self._process_insert_batch(events, result)
+        batch = self._pipeline.process_batch(self._snapshot_counter, events, [])
         self._snapshot_counter += 1
-        return result
+        return self._result_from_batch(batch)
 
-    def _process_insert_batch(self, events: Sequence[StreamEvent], result: SnapshotResult) -> None:
-        import time as _time
-
-        update_start = _time.perf_counter()
-        new_ids = [self._insert_event(event) for event in events]
-        start = _time.perf_counter()
-        result.graph_update_seconds += start - update_start
-
-        frontier = self.index_manager.handle_insertions(new_ids)
-        filter_end = _time.perf_counter()
-
-        context = self._make_context(batch_edge_ids=set(new_ids), positive=True)
-        units = decompose_batch(context, new_ids)
-        outcome = run_enumeration(
-            context, units, self.config.parallel,
-            pool=self._pool, collect=self.config.collect_embeddings,
-        )
-        enum_end = _time.perf_counter()
-
-        result.filter_traversals += frontier.traversed_edges
-        result.candidates_scanned += context.candidates_scanned
-        result.work_units += len(units)
-        result.filter_seconds += filter_end - start
-        result.enumerate_seconds += enum_end - filter_end
-        result.num_positive += outcome.num_embeddings
-        result.enumeration_outcomes.append(outcome)
-        if self.config.collect_embeddings:
-            result.positive_embeddings.extend(outcome.embeddings)
+    def batch_deletes(self, events: Iterable[StreamEvent | tuple]) -> SnapshotResult:
+        """Delete a batch of edges and return the destroyed (negative) embeddings."""
+        coerced = [
+            e if isinstance(e, StreamEvent) else StreamEvent.delete(*e) for e in events
+        ]
+        batch = self._pipeline.process_batch(self._snapshot_counter, [], coerced)
+        self._snapshot_counter += 1
+        return self._result_from_batch(batch)
 
     def _insert_event(self, event: StreamEvent) -> int:
         edge_id = self.graph.add_edge(
             event.src, event.dst, event.label, event.timestamp,
             src_label=event.src_label, dst_label=event.dst_label,
         )
+        self.pipeline_edge_inserted(edge_id)
+        return edge_id
+
+    # ------------------------------------------------------------------ pipeline metrics
+    @property
+    def snapshot_exports(self) -> int:
+        """Shared-memory snapshot publications (epochs) over the engine lifetime."""
+        current = self._pool.publish_count if self._pool is not None else 0
+        return self._exports_before_pool + current
+
+    @property
+    def enumeration_phases_with_units(self) -> int:
+        """Enumeration phases (insert or delete half of a batch) with >= 1 unit."""
+        return self._pipeline.enumeration_phases_with_units
+
+    @property
+    def pool_enumeration_phases(self) -> int:
+        """Phases dispatched to the shared pool — each publishes exactly one epoch."""
+        return self._pipeline.pool_enumeration_phases
+
+    # ------------------------------------------------------------------ pipeline host hooks
+    def pipeline_slots(self) -> dict[int, QueryRuntime]:
+        return {0: self.runtime}
+
+    def pipeline_acquire_pool(self, pipeline: BatchPipeline) -> SharedMemoryPool | None:
+        return self._pool
+
+    def pipeline_pool_broken(self) -> None:
+        # The broken pool's leftover chunks must not keep burning cores
+        # behind the fallback's back; drop the reference and shut it down.
+        self._harvest_and_close_pool()
+
+    def pipeline_make_context(
+        self,
+        runtime: QueryRuntime,
+        batch_edge_ids: set[int],
+        positive: bool,
+        shared_pool_cache: dict | None,
+    ) -> EnumerationContext:
+        return runtime.make_context(
+            self.graph,
+            batch_edge_ids,
+            positive,
+            shared_pool_cache=shared_pool_cache,
+            spilled_edge_ids=self._spilled_edge_ids if self.external_store else None,
+            on_spilled_access=self._on_spilled_access if self.external_store else None,
+        )
+
+    def _make_context(self, batch_edge_ids: set[int], positive: bool) -> EnumerationContext:
+        """Build an enumeration context over the live graph for one batch."""
+        return self.pipeline_make_context(
+            self.runtime, batch_edge_ids, positive, shared_pool_cache=None
+        )
+
+    def pipeline_edge_inserted(self, edge_id: int) -> None:
         # A recycled id may belong to a previously spilled edge; it is live again.
         self._spilled_edge_ids.discard(edge_id)
         if self.external_store is not None:
             self._insertion_order.append(edge_id)
-        return edge_id
 
-    # ------------------------------------------------------------------ delete path
-    def batch_deletes(self, events: Iterable[StreamEvent | tuple]) -> SnapshotResult:
-        """Delete a batch of edges and return the destroyed (negative) embeddings."""
-        coerced = []
-        for event in events:
-            if isinstance(event, StreamEvent):
-                coerced.append(event)
-            else:
-                coerced.append(StreamEvent.delete(*event))
-        result = SnapshotResult(number=self._snapshot_counter, num_insertions=0,
-                                num_deletions=len(coerced))
-        self._process_delete_batch(coerced, result)
+    def pipeline_edge_deleted(self, edge_id: int) -> None:
+        self._spilled_edge_ids.discard(edge_id)
+
+    def pipeline_batch_applied(self, batch: CompletedBatch) -> None:
+        """All of a batch's mutations are applied (enumeration may still run).
+
+        The end-of-batch footprint is captured *here*, at mutation time:
+        in pipelined mode the batch completes (drains) only after later
+        batches' mutations, so reading the graph then would misreport.
+        """
+        self._maybe_spill()
+        self._footprints[batch.number] = (
+            self.graph.num_edges,
+            self.graph.num_placeholders,
+            self.debi.total_bits_set(),
+        )
+        self.graph.stats.sample_snapshot(
+            batch.number, self.graph.num_placeholders, self.graph.num_edges
+        )
         self._snapshot_counter += 1
+
+    # ------------------------------------------------------------------ result assembly
+    def _result_from_batch(self, batch: CompletedBatch) -> SnapshotResult:
+        """Map a completed pipeline batch onto the engine's result shape."""
+        result = SnapshotResult(
+            number=batch.number,
+            num_insertions=batch.num_insertions,
+            num_deletions=batch.num_deletions,
+        )
+        collect = self.config.collect_embeddings
+        for phase in batch.phases():
+            query_phase = phase.per_query[0]
+            outcome = query_phase.outcome
+            result.graph_update_seconds += phase.graph_update_seconds
+            result.filter_seconds += query_phase.filter_seconds
+            result.enumerate_seconds += phase.enumerate_wall_seconds
+            result.filter_traversals += query_phase.filter_traversals
+            result.candidates_scanned += query_phase.candidates_scanned
+            result.work_units += query_phase.work_units
+            result.enumeration_outcomes.append(outcome)
+            if phase.positive:
+                result.num_positive += outcome.num_embeddings
+                if collect:
+                    result.positive_embeddings.extend(outcome.embeddings)
+            else:
+                result.num_negative += outcome.num_embeddings
+                if collect:
+                    result.negative_embeddings.extend(outcome.embeddings)
+        footprint = self._footprints.pop(batch.number, None)
+        if footprint is not None:
+            result.live_edges, result.edge_placeholders, result.debi_bits = footprint
         return result
-
-    def _process_delete_batch(self, events: Sequence[StreamEvent], result: SnapshotResult) -> None:
-        import time as _time
-
-        start = _time.perf_counter()
-        doomed_ids = resolve_deletions(self.graph, events)
-        resolve_end = _time.perf_counter()
-
-        # Enumerate the embeddings about to be destroyed, before mutating anything.
-        context = self._make_context(batch_edge_ids=set(doomed_ids), positive=False)
-        units = decompose_batch(context, doomed_ids)
-        outcome = run_enumeration(
-            context, units, self.config.parallel,
-            pool=self._pool, collect=self.config.collect_embeddings,
-        )
-        enum_end = _time.perf_counter()
-
-        # Apply the deletions and update DEBI bottom-up / top-down.
-        deleted_records = []
-        for edge_id in doomed_ids:
-            row_mask = self.debi.row(edge_id)
-            record = self.graph.delete_edge(edge_id)
-            self.debi.clear_edge(edge_id)
-            self._spilled_edge_ids.discard(edge_id)
-            deleted_records.append((record, row_mask))
-        frontier = self.index_manager.handle_deletions(deleted_records)
-        filter_end = _time.perf_counter()
-
-        result.graph_update_seconds += resolve_end - start
-        result.enumerate_seconds += enum_end - resolve_end
-        result.filter_seconds += filter_end - enum_end
-        result.filter_traversals += frontier.traversed_edges
-        result.candidates_scanned += context.candidates_scanned
-        result.work_units += len(units)
-        result.num_negative += outcome.num_embeddings
-        result.enumeration_outcomes.append(outcome)
-        if self.config.collect_embeddings:
-            result.negative_embeddings.extend(outcome.embeddings)
-
-    # ------------------------------------------------------------------ helpers
-    def _make_context(self, batch_edge_ids: set[int], positive: bool) -> EnumerationContext:
-        return self.runtime.make_context(
-            self.graph,
-            batch_edge_ids,
-            positive,
-            spilled_edge_ids=self._spilled_edge_ids if self.external_store else None,
-            on_spilled_access=self._on_spilled_access if self.external_store else None,
-        )
 
     def _on_spilled_access(self, edge_id: int) -> None:
         """Candidate access touched a spilled edge: fetch its vertex's log transaction once."""

@@ -115,9 +115,15 @@ class WorkerStats:
     busy_intervals: list[tuple[float, float]] = field(default_factory=list)
 
     def utilisation(self, wall_seconds: float) -> float:
-        """Fraction of ``wall_seconds`` this worker spent processing units."""
+        """Fraction of ``wall_seconds`` this worker spent processing units.
+
+        A non-positive wall clock (clock resolution on a tiny batch)
+        cannot show idle time: a worker that did any work counts as
+        fully utilised, one that did nothing as idle, so the mean stays
+        in [0, 1] instead of collapsing to 0 or dividing by zero.
+        """
         if wall_seconds <= 0:
-            return 0.0
+            return 1.0 if self.busy_seconds > 0 else 0.0
         return min(1.0, self.busy_seconds / wall_seconds)
 
 
@@ -265,6 +271,95 @@ def _run_processes(
 # ---------------------------------------------------------------------- shared-memory pool
 class PoolBrokenError(RuntimeError):
     """A pool worker died or misbehaved; the pool cannot be trusted further."""
+
+
+class PoolOwnerMixin:
+    """The shared pool-ownership dance for engines owning a worker pool.
+
+    Both engines used to hand-roll the same lifecycle: drop the
+    ``_pool`` reference *before* shutting it down (a failure while
+    reaping workers must never leave a half-closed pool attached to the
+    owner, where a retry or garbage collection would double-close it)
+    and manage a ``weakref.finalize`` guard so collection of the owner
+    closes a forgotten pool — but never one that was already replaced.
+    This mixin is that dance, shared; it stores state on the plain
+    ``_pool`` / ``_pool_finalizer`` attributes.
+    """
+
+    _pool: "SharedMemoryPool | None" = None
+    _pool_finalizer = None
+
+    def _adopt_pool(self, pool: "SharedMemoryPool | None") -> "SharedMemoryPool | None":
+        """Track ``pool`` (may be None) and arm a close-on-GC finalizer."""
+        import weakref
+
+        self._pool = pool
+        self._pool_finalizer = (
+            weakref.finalize(self, SharedMemoryPool.close, pool)
+            if pool is not None
+            else None
+        )
+        return pool
+
+    def _detach_pool(self) -> "SharedMemoryPool | None":
+        """Detach and return the pool (not yet closed); the owner keeps no reference.
+
+        The caller is responsible for closing the returned pool (after
+        harvesting whatever it still needs, e.g. the publish count).
+        Returns None when no pool was tracked.  Exception-safe by
+        construction: the reference and finalizer are gone before the
+        caller runs any teardown that might raise.
+        """
+        pool, self._pool = self._pool, None
+        finalizer, self._pool_finalizer = self._pool_finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+        return pool
+
+    def _close_pool(self) -> None:
+        """Detach and close the tracked pool (idempotent)."""
+        pool = self._detach_pool()
+        if pool is not None:
+            pool.close()
+
+
+@dataclass
+class _InflightEpoch:
+    """Parent-side accounting for one dispatched-but-undrained epoch."""
+
+    epoch: int
+    contexts: "dict[int, EnumerationContext]"
+    collect: bool
+    pending: int
+    start: float
+    stats: dict[tuple[int, int], WorkerStats] = field(default_factory=dict)
+    embeddings: "dict[int, list[Embedding]]" = field(default_factory=dict)
+    totals: dict[int, int] = field(default_factory=dict)
+    scanned: dict[int, int] = field(default_factory=dict)
+    failure: str | None = None
+
+
+@dataclass(frozen=True)
+class DispatchedEpoch:
+    """Handle for a non-blocking :meth:`SharedMemoryPool.dispatch` call.
+
+    Carries the published descriptor and the dispatched units so a
+    caller can recover the exact frozen epoch (parent-side attach +
+    serial re-enumeration) should the pool break before the drain — the
+    live graph may have moved on by then.
+    """
+
+    epoch: int
+    descriptor: dict
+    units: "dict[int, list[WorkUnit]]"
+
+
+@dataclass(frozen=True)
+class DrainedEpoch:
+    """Per-query outcomes of one fully drained epoch."""
+
+    epoch: int
+    outcomes: dict[int, EnumerationOutcome]
 
 
 def _pack_embeddings(embeddings: list["Embedding"]) -> "np.ndarray":
@@ -417,7 +512,8 @@ class SharedMemoryPool:
 
         self.num_workers = num_workers
         self.chunk_size = chunk_size
-        self._writer = SharedSnapshotWriter()
+        self._writer = SharedSnapshotWriter(num_slots=2)
+        self._inflight: dict[int, _InflightEpoch] = {}
         self._broken = False
         self._closed = False
         try:
@@ -521,12 +617,54 @@ class SharedMemoryPool:
         query contributes only its DEBI buffers.  Work-unit chunks are
         tagged with their query id, pulled dynamically by the workers
         from one shared queue, and the packed embeddings coming back are
-        routed to per-query outcomes.
+        routed to per-query outcomes.  Blocking convenience on top of
+        :meth:`dispatch` + :meth:`drain`.
+        """
+        return self.drain(self.dispatch(contexts, units, collect=collect)).outcomes
+
+    # ------------------------------------------------------------------ epoch pipeline
+    @property
+    def epochs_in_flight(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def max_epochs_in_flight(self) -> int:
+        """How many epochs may be dispatched before one must be drained.
+
+        Bounded by the writer's slot count: publishing epoch ``e``
+        overwrites the segment of epoch ``e - num_slots``, so that epoch
+        must be fully drained first.
+        """
+        return self._writer.num_slots
+
+    def dispatch(
+        self,
+        contexts: "dict[int, EnumerationContext]",
+        units: "dict[int, list[WorkUnit]]",
+        collect: bool = True,
+    ) -> "DispatchedEpoch":
+        """Publish a snapshot and enqueue every query's units — without waiting.
+
+        The returned handle identifies the new epoch; pass it to
+        :meth:`drain` to join on the results.  Non-blocking by design:
+        the coordinator of the pipelined batch loop dispatches batch
+        ``k``'s enumeration, then mutates the live graph for batch
+        ``k + 1`` while the workers chew — the workers only ever read the
+        published (frozen) shared-memory epoch, never the live graph.
+        At most :attr:`max_epochs_in_flight` epochs may be outstanding
+        (the writer's double buffer bounds it); dispatching beyond that
+        raises :class:`PoolBrokenError` rather than corrupting a slot a
+        worker may still be reading.
         """
         import numpy as np
 
         if not self.usable:
             raise PoolBrokenError("pool is closed or broken")
+        if len(self._inflight) >= self.max_epochs_in_flight:
+            raise PoolBrokenError(
+                f"{len(self._inflight)} epochs already in flight; drain one "
+                f"before dispatching (writer has {self._writer.num_slots} slots)"
+            )
         reference = next(iter(contexts.values()))
         try:
             descriptor = self._writer.publish(
@@ -547,51 +685,75 @@ class SharedMemoryPool:
             ).reshape(len(unit_list), 2)
             for i in range(0, len(unit_array), self.chunk_size):
                 tasks.append((qid, unit_array[i : i + self.chunk_size]))
-        start = time.perf_counter()
+        state = _InflightEpoch(
+            epoch=epoch,
+            contexts=contexts,
+            collect=collect,
+            pending=len(tasks),
+            start=time.perf_counter(),
+            embeddings={qid: [] for qid in contexts},
+            totals={qid: 0 for qid in contexts},
+            scanned={qid: 0 for qid in contexts},
+        )
+        self._inflight[epoch] = state
         for qid, chunk in tasks:
             self._task_queue.put((epoch, descriptor, qid, chunk, collect))
+        return DispatchedEpoch(epoch=epoch, descriptor=descriptor, units=units)
 
-        stats: dict[tuple[int, int], WorkerStats] = {}
-        embeddings: dict[int, list["Embedding"]] = {qid: [] for qid in contexts}
-        totals = {qid: 0 for qid in contexts}
-        scanned = {qid: 0 for qid in contexts}
-        pending = len(tasks)
-        failure: str | None = None
-        while pending:
-            message = self._next_result()
-            pending -= 1
-            if message[0] == "err":
-                failure = message[5]
-                continue
-            _, _, worker_id, qid, n_units, n_found, payload, chunk_start, chunk_end = message[:9]
-            totals[qid] += n_found
-            scanned[qid] += message[9]
-            if collect and payload is not None:
-                embeddings[qid].extend(
-                    _unpack_embeddings(payload, contexts[qid].positive)
-                )
-            st = stats.setdefault((qid, worker_id), WorkerStats(worker_id=worker_id))
-            st.units_processed += n_units
-            st.embeddings_found += n_found
-            st.busy_seconds += chunk_end - chunk_start
-            st.busy_intervals.append((chunk_start - start, chunk_end - start))
-        wall = time.perf_counter() - start
-        if failure is not None:
+    def drain(self, handle: "DispatchedEpoch | int") -> "DrainedEpoch":
+        """Join on one dispatched epoch and return its per-query outcomes.
+
+        Results of *other* in-flight epochs arriving meanwhile are
+        buffered into their own epoch state, so epochs may be drained in
+        any order (the pipeline drains them oldest-first).
+        """
+        epoch = handle.epoch if isinstance(handle, DispatchedEpoch) else handle
+        state = self._inflight.get(epoch)
+        if state is None:
+            raise PoolBrokenError(f"epoch {epoch} is not in flight")
+        while state.pending:
+            self._route_result(self._next_result())
+        del self._inflight[epoch]
+        wall = time.perf_counter() - state.start
+        if state.failure is not None:
             self._broken = True
-            raise PoolBrokenError(f"pool worker failed:\n{failure}")
+            raise PoolBrokenError(f"pool worker failed:\n{state.failure}")
         outcomes: dict[int, EnumerationOutcome] = {}
-        for qid, context in contexts.items():
+        for qid, context in state.contexts.items():
             # Mirror the serial path's context-side counters so traversal
             # metrics stay comparable across backends.
-            context.candidates_scanned += scanned[qid]
-            context.embeddings_found += totals[qid]
+            context.candidates_scanned += state.scanned[qid]
+            context.embeddings_found += state.totals[qid]
             outcomes[qid] = EnumerationOutcome(
-                embeddings[qid],
-                [st for (owner, _), st in stats.items() if owner == qid],
+                state.embeddings[qid],
+                [st for (owner, _), st in state.stats.items() if owner == qid],
                 wall,
-                num_embeddings=totals[qid],
+                num_embeddings=state.totals[qid],
             )
-        return outcomes
+        return DrainedEpoch(epoch=epoch, outcomes=outcomes)
+
+    def _route_result(self, message) -> None:
+        """Book one worker message into its epoch's in-flight state."""
+        kind, epoch = message[0], message[1]
+        state = self._inflight.get(epoch)
+        if state is None:  # pragma: no cover - defensive: unknown epoch
+            return
+        state.pending -= 1
+        if kind == "err":
+            state.failure = message[5]
+            return
+        _, _, worker_id, qid, n_units, n_found, payload, chunk_start, chunk_end = message[:9]
+        state.totals[qid] += n_found
+        state.scanned[qid] += message[9]
+        if state.collect and payload is not None:
+            state.embeddings[qid].extend(
+                _unpack_embeddings(payload, state.contexts[qid].positive)
+            )
+        st = state.stats.setdefault((qid, worker_id), WorkerStats(worker_id=worker_id))
+        st.units_processed += n_units
+        st.embeddings_found += n_found
+        st.busy_seconds += chunk_end - chunk_start
+        st.busy_intervals.append((chunk_start - state.start, chunk_end - state.start))
 
     def _next_result(self):
         """Fetch one result, polling worker liveness so a crash cannot deadlock."""

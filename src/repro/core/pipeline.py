@@ -1,0 +1,607 @@
+"""The shared batch-execution pipeline: one loop body for every engine.
+
+Historically :class:`~repro.core.engine.MnemonicEngine` and
+:class:`~repro.core.registry.MultiQueryEngine` each carried their own
+copy of the per-batch loop (apply insertions → update DEBI → enumerate;
+resolve deletions → enumerate the doomed embeddings → apply deletions →
+update DEBI).  This module is now the only implementation; the engines
+supply primitive hooks (graph mutators, context construction, pool
+lifecycle) through the :class:`PipelineHost` protocol and consume
+:class:`CompletedBatch` records.
+
+Two execution modes
+-------------------
+``serial`` (default)
+    Today's behaviour: every phase runs to completion before the next
+    graph mutation.  Bit-identical to the historical engines.
+
+``pipelined``
+    The overlap mode motivating the refactor.  Pool workers only ever
+    read the *published* shared-memory epoch, never the live graph, so
+    once a phase's snapshot is published and its work units dispatched
+    (:meth:`~repro.core.parallel.SharedMemoryPool.dispatch`), the
+    coordinator is free to apply batch ``k + 1``'s mutations, update
+    DEBI and stage the next snapshot while the workers are still
+    enumerating batch ``k``.  Results are joined lazily
+    (:meth:`~repro.core.parallel.SharedMemoryPool.drain`), oldest epoch
+    first; the double-buffered snapshot writer bounds the look-ahead to
+    two epochs in flight.
+
+    Deletion semantics are preserved exactly: a delete phase publishes
+    its snapshot *before* the edges are removed and DEBI rows cleared,
+    so the workers enumerate the doomed embeddings against the
+    pre-delete epoch — the same state the serial mode sees — and the
+    result sets stay bit-identical.
+
+    Phases that cannot go through the pool (no pool, too small to
+    amortise a publication, spill callbacks) run inline at their stream
+    position, which trivially preserves ordering.
+
+If the pool breaks mid-pipeline the already-dispatched epochs are
+recovered *parent-side*: the coordinator attaches to its own published
+segments (which are frozen and still alive until the pool closes) and
+re-enumerates the dispatched units serially over the exact epoch the
+workers were reading.  The live graph may have moved on by then; the
+recovery path never touches it.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator, Protocol, Sequence
+
+from repro.core.parallel import (
+    DispatchedEpoch,
+    EnumerationOutcome,
+    PoolBrokenError,
+    SharedMemoryPool,
+    _run_serial,
+    _run_threads,
+    run_enumeration,
+)
+from repro.core.shared_snapshot import SnapshotAttachment, disable_shm_resource_tracking
+from repro.utils.validation import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import EngineConfig
+    from repro.core.enumeration import EnumerationContext, WorkUnit
+    from repro.core.registry import QueryRuntime
+    from repro.graph.adjacency import DynamicGraph
+    from repro.streams.events import StreamEvent
+    from repro.streams.generator import Snapshot
+
+#: the supported execution modes of :class:`BatchPipeline`
+PIPELINE_MODES = ("serial", "pipelined")
+
+
+class PipelineHost(Protocol):
+    """What an engine must provide for :class:`BatchPipeline` to drive it.
+
+    The pipeline owns the batch-loop *sequencing*; the host supplies the
+    engine-specific primitives (which never contain loop logic of their
+    own).
+    """
+
+    graph: "DynamicGraph"
+    config: "EngineConfig"
+
+    def pipeline_slots(self) -> "dict[int, QueryRuntime]":
+        """The per-query runtimes to evaluate this batch (id -> runtime)."""
+        ...
+
+    def pipeline_acquire_pool(self, pipeline: "BatchPipeline") -> "SharedMemoryPool | None":
+        """The shared-memory pool to enumerate on, or None for the fallbacks.
+
+        A host that may *replace* its pool (multi-query registry churn)
+        must call ``pipeline.flush()`` before closing the old pool, so
+        no in-flight epoch is orphaned.
+        """
+        ...
+
+    def pipeline_pool_broken(self) -> None:
+        """The pool failed: release/close it (in-flight epochs already recovered)."""
+        ...
+
+    def pipeline_make_context(
+        self,
+        runtime: "QueryRuntime",
+        batch_edge_ids: set[int],
+        positive: bool,
+        shared_pool_cache: dict | None,
+    ) -> "EnumerationContext":
+        """Build one query's enumeration context over the live graph."""
+        ...
+
+    def pipeline_edge_inserted(self, edge_id: int) -> None:
+        """Post-insert bookkeeping hook (e.g. external-store insertion order)."""
+        ...
+
+    def pipeline_edge_deleted(self, edge_id: int) -> None:
+        """Post-delete bookkeeping hook (e.g. spilled-id set maintenance)."""
+        ...
+
+    def pipeline_batch_applied(self, batch: "CompletedBatch") -> None:
+        """A batch's mutations are fully applied (enumeration may still be in flight).
+
+        Called by :meth:`BatchPipeline.run_stream` in stream order, at
+        mutation time — the hook where end-of-batch footprints must be
+        captured, because in pipelined mode the batch *completes* only
+        after later batches have already mutated the graph.
+        """
+        ...
+
+
+# ---------------------------------------------------------------------- results
+@dataclass
+class QueryPhaseOutcome:
+    """One query's share of one enumeration phase."""
+
+    filter_seconds: float = 0.0
+    filter_traversals: int = 0
+    work_units: int = 0
+    candidates_scanned: int = 0
+    outcome: EnumerationOutcome | None = None
+
+
+@dataclass
+class PhaseOutcome:
+    """One phase (the insert or delete half) of one batch, across queries."""
+
+    positive: bool
+    num_events: int
+    #: shared mutation time: applying inserts, or resolving + applying deletes
+    graph_update_seconds: float = 0.0
+    #: wall clock from enumeration start (or dispatch) to completion (or drain)
+    enumerate_wall_seconds: float = 0.0
+    per_query: dict[int, QueryPhaseOutcome] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return all(q.outcome is not None for q in self.per_query.values())
+
+
+@dataclass
+class CompletedBatch:
+    """Everything the pipeline produced for one snapshot, once fully drained."""
+
+    number: int
+    num_insertions: int
+    num_deletions: int
+    insert_phase: PhaseOutcome | None = None
+    delete_phase: PhaseOutcome | None = None
+
+    def phases(self) -> Iterator[PhaseOutcome]:
+        if self.insert_phase is not None:
+            yield self.insert_phase
+        if self.delete_phase is not None:
+            yield self.delete_phase
+
+    @property
+    def complete(self) -> bool:
+        return all(p.complete for p in self.phases())
+
+
+@dataclass
+class _PendingPhase:
+    """A dispatched-but-undrained phase: everything needed to drain or recover."""
+
+    phase: PhaseOutcome
+    contexts: "dict[int, EnumerationContext]"
+    units: "dict[int, list[WorkUnit]]"
+    pool: SharedMemoryPool
+    handle: DispatchedEpoch
+    slots: "dict[int, QueryRuntime]"
+    dispatched_at: float
+
+
+# ---------------------------------------------------------------------- the pipeline
+class BatchPipeline:
+    """The single implementation of the per-batch execution loop.
+
+    ``mode`` picks serial (default) or pipelined execution for streamed
+    runs; one-shot entry points (:meth:`process_batch`) always run
+    serially — there is no next batch to overlap with.  ``fallback``
+    selects what a phase does when the shared-memory pool is absent:
+    ``"fork"`` preserves the single-query engine's legacy per-batch
+    forked workers, ``"simple"`` the multi-query engine's thread/serial
+    degradation.
+    """
+
+    def __init__(
+        self,
+        host: PipelineHost,
+        mode: str = "serial",
+        fallback: str = "simple",
+    ) -> None:
+        if mode not in PIPELINE_MODES:
+            raise ConfigurationError(
+                f"pipeline mode must be one of {PIPELINE_MODES}, got {mode!r}"
+            )
+        if fallback not in ("fork", "simple"):
+            raise ConfigurationError(
+                f"pipeline fallback must be 'fork' or 'simple', got {fallback!r}"
+            )
+        self.host = host
+        self.mode = mode
+        self._fallback = fallback
+        #: enumeration phases (insert or delete half of a batch) with >= 1 unit
+        self.enumeration_phases_with_units = 0
+        #: phases that went through the shared pool (inline or dispatched) —
+        #: each publishes exactly one epoch, which the parity gates check
+        self.pool_enumeration_phases = 0
+        self._pending: deque[_PendingPhase] = deque()
+
+    # ------------------------------------------------------------------ entry points
+    def process_batch(
+        self,
+        number: int,
+        insertions: Sequence["StreamEvent"],
+        deletions: Sequence["StreamEvent"],
+    ) -> CompletedBatch:
+        """Run one batch serially (the one-shot / serial-mode entry point)."""
+        batch = CompletedBatch(
+            number=number,
+            num_insertions=len(insertions),
+            num_deletions=len(deletions),
+        )
+        if insertions:
+            batch.insert_phase = self._run_insert_phase(insertions, overlap=False)
+        if deletions:
+            batch.delete_phase = self._run_delete_phase(deletions, overlap=False)
+        return batch
+
+    def run_stream(self, snapshots: Iterable["Snapshot"]) -> Iterator[CompletedBatch]:
+        """Process a stream of snapshots, yielding completed batches in order."""
+        if self.mode != "pipelined":
+            for snapshot in snapshots:
+                batch = self.process_batch(
+                    snapshot.number, snapshot.insertions, snapshot.deletions
+                )
+                self.host.pipeline_batch_applied(batch)
+                yield batch
+            return
+        inflight: deque[CompletedBatch] = deque()
+        for snapshot in snapshots:
+            batch = CompletedBatch(
+                number=snapshot.number,
+                num_insertions=len(snapshot.insertions),
+                num_deletions=len(snapshot.deletions),
+            )
+            if snapshot.insertions:
+                batch.insert_phase = self._run_insert_phase(
+                    snapshot.insertions, overlap=True
+                )
+            if snapshot.deletions:
+                batch.delete_phase = self._run_delete_phase(
+                    snapshot.deletions, overlap=True
+                )
+            self.host.pipeline_batch_applied(batch)
+            inflight.append(batch)
+            while inflight and inflight[0].complete:
+                yield inflight.popleft()
+        self.flush()
+        while inflight:
+            yield inflight.popleft()
+
+    def flush(self) -> None:
+        """Drain every dispatched epoch (oldest first); phases become complete."""
+        while self._pending:
+            self._drain_oldest()
+
+    # ------------------------------------------------------------------ insert phase
+    def _run_insert_phase(
+        self, events: Sequence["StreamEvent"], overlap: bool
+    ) -> PhaseOutcome:
+        host = self.host
+        graph = host.graph
+        slots = host.pipeline_slots()
+        phase = PhaseOutcome(positive=True, num_events=len(events))
+
+        update_start = time.perf_counter()
+        new_ids = []
+        for event in events:
+            edge_id = graph.add_edge(
+                event.src, event.dst, event.label, event.timestamp,
+                src_label=event.src_label, dst_label=event.dst_label,
+            )
+            host.pipeline_edge_inserted(edge_id)
+            new_ids.append(edge_id)
+        phase.graph_update_seconds += time.perf_counter() - update_start
+
+        batch_ids = set(new_ids)
+        contexts, units = self._index_and_decompose(
+            slots, phase, batch_ids, new_ids, positive=True,
+            index=lambda runtime: runtime.index_manager.handle_insertions(new_ids),
+        )
+        self._enumerate_phase(phase, slots, contexts, units, overlap=overlap)
+        return phase
+
+    # ------------------------------------------------------------------ delete phase
+    def _run_delete_phase(
+        self, events: Sequence["StreamEvent"], overlap: bool
+    ) -> PhaseOutcome:
+        from repro.core.registry import resolve_deletions
+
+        host = self.host
+        graph = host.graph
+        slots = host.pipeline_slots()
+        phase = PhaseOutcome(positive=False, num_events=len(events))
+
+        resolve_start = time.perf_counter()
+        doomed_ids = resolve_deletions(graph, events)
+        phase.graph_update_seconds += time.perf_counter() - resolve_start
+
+        # Enumerate (or dispatch) the embeddings about to be destroyed
+        # before mutating anything: an inline run finishes right here; a
+        # dispatched run reads the snapshot published by the dispatch,
+        # which freezes the pre-delete graph and DEBI.  No index callback:
+        # DEBI is refreshed *after* the deletions are applied below.
+        contexts, units = self._index_and_decompose(
+            slots, phase, set(doomed_ids), doomed_ids, positive=False
+        )
+        self._enumerate_phase(phase, slots, contexts, units, overlap=overlap)
+
+        # One mutation pass: capture every query's row mask, delete the
+        # edge once, clear every query's DEBI row.  In pipelined mode
+        # this runs while the workers are still enumerating the epoch
+        # published above — they read the frozen pre-delete snapshot.
+        apply_start = time.perf_counter()
+        deleted: list[tuple] = []
+        for edge_id in doomed_ids:
+            row_masks = {
+                qid: runtime.debi.row(edge_id) for qid, runtime in slots.items()
+            }
+            record = graph.delete_edge(edge_id)
+            for runtime in slots.values():
+                runtime.debi.clear_edge(edge_id)
+            host.pipeline_edge_deleted(edge_id)
+            deleted.append((record, row_masks))
+        phase.graph_update_seconds += time.perf_counter() - apply_start
+
+        for qid, runtime in slots.items():
+            query_phase = phase.per_query[qid]
+            filter_start = time.perf_counter()
+            frontier = runtime.index_manager.handle_deletions(
+                [(record, masks[qid]) for record, masks in deleted]
+            )
+            query_phase.filter_seconds += time.perf_counter() - filter_start
+            query_phase.filter_traversals += frontier.traversed_edges
+        return phase
+
+    # ------------------------------------------------------------------ shared plumbing
+    def _index_and_decompose(
+        self,
+        slots,
+        phase: PhaseOutcome,
+        batch_ids: set[int],
+        ordered_ids,
+        positive,
+        index=None,
+    ):
+        """Per query: refresh the index (optional), build a context, decompose units.
+
+        ``index`` is the per-runtime DEBI refresh for insert phases;
+        delete phases pass None because their index update happens only
+        after the doomed embeddings are enumerated.
+        """
+        from repro.core.enumeration import decompose_batch
+
+        host = self.host
+        contexts: dict[int, "EnumerationContext"] = {}
+        units: dict[int, list] = {}
+        shared_cache: dict | None = {} if len(slots) > 1 else None
+        for qid, runtime in slots.items():
+            query_phase = phase.per_query.setdefault(qid, QueryPhaseOutcome())
+            if index is not None:
+                filter_start = time.perf_counter()
+                frontier = index(runtime)
+                query_phase.filter_seconds += time.perf_counter() - filter_start
+                query_phase.filter_traversals += frontier.traversed_edges
+            context = host.pipeline_make_context(
+                runtime, batch_ids, positive=positive, shared_pool_cache=shared_cache
+            )
+            contexts[qid] = context
+            units[qid] = decompose_batch(context, ordered_ids)
+            query_phase.work_units += len(units[qid])
+        return contexts, units
+
+    def _amortized(self, total_units: int) -> bool:
+        """Is the phase big enough to amortise one O(V + E) snapshot export?
+
+        Publication is O(V + E) (parent export + per-worker view build);
+        one unit enumerates in roughly the time ~1000 placeholders take
+        to export, so a phase must carry enough units per worker AND
+        enough units relative to the graph size, or the serial path wins.
+        """
+        placeholders = getattr(self.host.graph, "num_placeholders", 0)
+        workers = self.host.config.parallel.num_workers
+        return total_units >= 2 * workers and total_units * 1000 >= placeholders
+
+    def _enumerate_phase(
+        self,
+        phase: PhaseOutcome,
+        slots,
+        contexts: "dict[int, EnumerationContext]",
+        units: "dict[int, list[WorkUnit]]",
+        overlap: bool,
+    ) -> None:
+        """Run or dispatch one phase's enumeration; fill outcomes when inline."""
+        total_units = sum(len(u) for u in units.values())
+        if total_units == 0:
+            self._complete_phase(phase, contexts, {
+                qid: EnumerationOutcome([], [], 0.0) for qid in contexts
+            }, wall=0.0)
+            return
+        self.enumeration_phases_with_units += 1
+
+        collect = self.host.config.collect_embeddings
+        pool = self.host.pipeline_acquire_pool(self)
+        pool_ok = pool is not None and pool.usable and all(
+            ctx.on_spilled_access is None for ctx in contexts.values()
+        )
+        if pool_ok and self._amortized(total_units):
+            if self._pending and self._pending[0].pool is not pool:
+                # The host swapped pools under us (registry churn):
+                # epochs of the old pool must finish before it goes away.
+                self.flush()
+            while (
+                self._pending
+                and pool.usable
+                and pool.epochs_in_flight >= pool.max_epochs_in_flight
+            ):
+                self._drain_oldest()
+            # _drain_oldest (or the flush above) may have hit a broken pool
+            # and already recovered + warned; don't dispatch on the corpse
+            # and report the same failure a second time.
+            if pool.usable:
+                try:
+                    if overlap:
+                        dispatched_at = time.perf_counter()
+                        handle = pool.dispatch(contexts, units, collect=collect)
+                        self.pool_enumeration_phases += 1
+                        self._pending.append(
+                            _PendingPhase(
+                                phase=phase,
+                                contexts=contexts,
+                                units=units,
+                                pool=pool,
+                                handle=handle,
+                                slots=dict(slots),
+                                dispatched_at=dispatched_at,
+                            )
+                        )
+                        return
+                    start = time.perf_counter()
+                    self.pool_enumeration_phases += 1
+                    outcomes = pool.run_multi(contexts, units, collect=collect)
+                    self._complete_phase(
+                        phase, contexts, outcomes, wall=time.perf_counter() - start
+                    )
+                    return
+                except PoolBrokenError as exc:
+                    self._handle_pool_broken(exc)
+        elif pool_ok:
+            # A healthy pool but a phase too small to amortise a snapshot
+            # publication: run serially, as both engines always have — the
+            # legacy per-batch fork fallback is for *absent* pools only
+            # (forking workers for a handful of units would cost far more
+            # than the enumeration itself).
+            start = time.perf_counter()
+            outcomes = {
+                qid: _run_serial(contexts[qid], units[qid]) for qid in contexts
+            }
+            self._complete_phase(
+                phase, contexts, outcomes, wall=time.perf_counter() - start
+            )
+            return
+        start = time.perf_counter()
+        outcomes = self._enumerate_fallback(contexts, units)
+        self._complete_phase(phase, contexts, outcomes, wall=time.perf_counter() - start)
+
+    def _enumerate_fallback(
+        self,
+        contexts: "dict[int, EnumerationContext]",
+        units: "dict[int, list[WorkUnit]]",
+    ) -> dict[int, EnumerationOutcome]:
+        """Run a phase without the shared pool (serial/thread/legacy fork)."""
+        parallel = self.host.config.parallel
+        collect = self.host.config.collect_embeddings
+        outcomes: dict[int, EnumerationOutcome] = {}
+        for qid, context in contexts.items():
+            if self._fallback == "fork":
+                outcomes[qid] = run_enumeration(
+                    context, units[qid], parallel, pool=None, collect=collect
+                )
+            elif parallel.backend == "thread" and parallel.num_workers > 1:
+                outcomes[qid] = _run_threads(context, units[qid], parallel.num_workers)
+            else:
+                outcomes[qid] = _run_serial(context, units[qid])
+        return outcomes
+
+    def _complete_phase(
+        self,
+        phase: PhaseOutcome,
+        contexts: "dict[int, EnumerationContext]",
+        outcomes: dict[int, EnumerationOutcome],
+        wall: float,
+    ) -> None:
+        phase.enumerate_wall_seconds += wall
+        for qid, outcome in outcomes.items():
+            query_phase = phase.per_query.setdefault(qid, QueryPhaseOutcome())
+            query_phase.outcome = outcome
+            query_phase.candidates_scanned = contexts[qid].candidates_scanned
+
+    # ------------------------------------------------------------------ draining & recovery
+    def _drain_oldest(self) -> None:
+        pending = self._pending.popleft()
+        try:
+            drained = pending.pool.drain(pending.handle)
+            outcomes = drained.outcomes
+        except PoolBrokenError as exc:
+            self._pending.appendleft(pending)
+            self._handle_pool_broken(exc)
+            return
+        self._complete_phase(
+            pending.phase,
+            pending.contexts,
+            outcomes,
+            wall=time.perf_counter() - pending.dispatched_at,
+        )
+
+    def _handle_pool_broken(self, exc: PoolBrokenError) -> None:
+        """Recover every dispatched epoch parent-side, then drop the pool.
+
+        The live graph may already carry later batches' mutations, so
+        the in-flight phases are re-enumerated against their *published*
+        epochs: the coordinator attaches to its own frozen segments
+        (still alive — the pool is not closed until after recovery) and
+        runs the dispatched units serially.  Results stay bit-identical
+        to what the workers would have produced.
+        """
+        pending, self._pending = list(self._pending), deque()
+        for item in pending:
+            outcomes = self._recover_phase(item)
+            self._complete_phase(
+                item.phase,
+                item.contexts,
+                outcomes,
+                wall=time.perf_counter() - item.dispatched_at,
+            )
+        self.host.pipeline_pool_broken()
+        warnings.warn(
+            f"shared-memory pool failed mid-run ({exc}); in-flight epochs were "
+            "recovered from their published snapshots and enumeration falls "
+            "back to the non-pool path",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _recover_phase(self, pending: _PendingPhase) -> dict[int, EnumerationOutcome]:
+        """Serially re-enumerate one dispatched epoch from its frozen snapshot."""
+        disable_shm_resource_tracking()
+        attachment = SnapshotAttachment()
+        descriptor = pending.handle.descriptor
+        try:
+            trees = {qid: rt.query_state.tree for qid, rt in pending.slots.items()}
+            graph_view, debis, batch_ids = attachment.views(descriptor, trees)
+            shared_cache: dict | None = {} if len(pending.slots) > 1 else None
+            outcomes: dict[int, EnumerationOutcome] = {}
+            for qid, unit_list in pending.handle.units.items():
+                context = pending.slots[qid].query_state.make_context(
+                    graph_view,
+                    debis[qid],
+                    batch_ids,
+                    descriptor["positive"],
+                    shared_pool_cache=shared_cache,
+                )
+                outcome = _run_serial(context, unit_list)
+                original = pending.contexts[qid]
+                original.candidates_scanned += context.candidates_scanned
+                original.embeddings_found += outcome.num_embeddings
+                outcomes[qid] = outcome
+            return outcomes
+        finally:
+            attachment.detach()

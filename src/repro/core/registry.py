@@ -34,24 +34,17 @@ stay per-query; only the raw adjacency fetch is shared.
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.core.api import DefaultMatchDefinition, MatchDefinition
 from repro.core.debi import DEBI
-from repro.core.enumeration import (
-    EnumerationContext,
-    QueryState,
-    decompose_batch,
-)
+from repro.core.enumeration import EnumerationContext, QueryState
 from repro.core.filtering import IndexManager
 from repro.core.parallel import (
     EnumerationOutcome,
-    PoolBrokenError,
+    PoolOwnerMixin,
     SharedMemoryPool,
-    _run_serial,
-    _run_threads,
 )
 from repro.graph.adjacency import DynamicGraph
 from repro.query.masking import MaskTable
@@ -65,6 +58,7 @@ from repro.utils.validation import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine import EngineConfig, RunResult, SnapshotResult
+    from repro.core.pipeline import BatchPipeline, CompletedBatch
 
 #: a result sink: called with ``(query_id, SnapshotResult)`` after every snapshot
 ResultSink = Callable[[int, "SnapshotResult"], None]
@@ -343,7 +337,7 @@ class MultiRunResult:
 
 
 # ---------------------------------------------------------------------- the engine
-class MultiQueryEngine:
+class MultiQueryEngine(PoolOwnerMixin):
     """A shared-everything engine evaluating many standing queries per batch.
 
     Compared with one :class:`~repro.core.engine.MnemonicEngine` per
@@ -370,6 +364,7 @@ class MultiQueryEngine:
         graph: DynamicGraph | None = None,
     ) -> None:
         from repro.core.engine import EngineConfig
+        from repro.core.pipeline import BatchPipeline
 
         self.config = config or EngineConfig()
         if self.config.stream.in_memory_window is not None:
@@ -382,16 +377,27 @@ class MultiQueryEngine:
             self.graph, use_degree_filter=self.config.use_degree_filter
         )
         self._snapshot_counter = 0
-        #: enumeration phases (insert or delete half of a batch) with >= 1 unit
-        self.enumeration_phases_with_units = 0
-        #: phases dispatched to the shared pool — each publishes exactly one
-        #: snapshot, which is what the perf_smoke sharing gate checks
-        self.pool_enumeration_phases = 0
-        self._pool: SharedMemoryPool | None = None
-        self._pool_finalizer: weakref.finalize | None = None
+        self._adopt_pool(None)
         self._pool_version = -1
         self._exports_before_pool = 0
         self._closed = False
+        #: per-batch footprints captured at mutation time (see engine hook)
+        self._footprints: dict[int, tuple[int, int, dict[int, int]]] = {}
+        self._pipeline = BatchPipeline(
+            self, mode=self.config.pipeline, fallback="simple"
+        )
+
+    # ------------------------------------------------------------------ pipeline counters
+    @property
+    def enumeration_phases_with_units(self) -> int:
+        """Enumeration phases (insert or delete half of a batch) with >= 1 unit."""
+        return self._pipeline.enumeration_phases_with_units
+
+    @property
+    def pool_enumeration_phases(self) -> int:
+        """Phases dispatched to the shared pool — each publishes exactly one
+        snapshot, which is what the perf_smoke sharing gate checks."""
+        return self._pipeline.pool_enumeration_phases
 
     # ------------------------------------------------------------------ registration
     def register(
@@ -421,13 +427,14 @@ class MultiQueryEngine:
     def close(self) -> None:
         """Release the worker pool (exception-safe and idempotent)."""
         self._closed = True
+        if self._pool is not None and self._pool.usable:
+            # A run abandoned mid-stream may still have dispatched epochs;
+            # join them before the segments are unlinked.
+            self._pipeline.flush()
         self._release_pool()
 
     def _release_pool(self) -> None:
-        pool, self._pool = self._pool, None
-        finalizer, self._pool_finalizer = self._pool_finalizer, None
-        if finalizer is not None:
-            finalizer.detach()
+        pool = self._detach_pool()
         if pool is not None:
             self._exports_before_pool += pool.publish_count
             pool.close()
@@ -467,10 +474,8 @@ class MultiQueryEngine:
             return pool
         self._release_pool()
         pool = SharedMemoryPool.create_multi(self.registry.query_states(), parallel)
-        self._pool = pool
+        self._adopt_pool(pool)
         self._pool_version = self.registry.version
-        if pool is not None:
-            self._pool_finalizer = weakref.finalize(self, SharedMemoryPool.close, pool)
         return pool
 
     # ------------------------------------------------------------------ stream API
@@ -498,187 +503,160 @@ class MultiQueryEngine:
         return len(new_ids)
 
     def run(self, source: StreamSource | Sequence[StreamEvent]) -> MultiRunResult:
-        """Process the whole stream for every registered query (Algorithm 1, shared)."""
+        """Process the whole stream for every registered query (Algorithm 1, shared).
+
+        With ``config.pipeline == "pipelined"`` the shared
+        :class:`~repro.core.pipeline.BatchPipeline` overlaps batch k+1's
+        mutation/DEBI/publish work with batch k's pool enumeration;
+        per-query results are identical to the serial mode either way.
+        """
         result = MultiRunResult()
-        for snapshot in self.initialize_stream(source):
-            result.add(self.process_snapshot(snapshot))
+        for batch in self._pipeline.run_stream(self.initialize_stream(source)):
+            result.add(self._deliver(self._result_from_batch(batch)))
         return result
 
     def process_snapshot(self, snapshot: Snapshot) -> MultiSnapshotResult:
         """Apply one snapshot for all queries: insert batch first, then delete batch."""
-        multi = self._new_result(
-            number=snapshot.number,
-            num_insertions=len(snapshot.insertions),
-            num_deletions=len(snapshot.deletions),
+        batch = self._pipeline.process_batch(
+            snapshot.number, snapshot.insertions, snapshot.deletions
         )
-        if snapshot.insertions:
-            self._process_insert_batch(snapshot.insertions, multi)
-        if snapshot.deletions:
-            self._process_delete_batch(snapshot.deletions, multi)
-        self._finalize_snapshot(multi)
-        return multi
+        self.pipeline_batch_applied(batch)
+        return self._deliver(self._result_from_batch(batch))
 
     def batch_inserts(self, events: Iterable[StreamEvent | tuple]) -> MultiSnapshotResult:
         """Insert a batch of edges; returns the newly formed embeddings per query."""
         from repro.core.engine import MnemonicEngine
 
         events = [MnemonicEngine._coerce_insert(e) for e in events]
-        multi = self._new_result(
-            number=self._snapshot_counter, num_insertions=len(events), num_deletions=0
-        )
-        self._process_insert_batch(events, multi)
-        self._finalize_snapshot(multi)
-        return multi
+        batch = self._pipeline.process_batch(self._snapshot_counter, events, [])
+        self.pipeline_batch_applied(batch)
+        return self._deliver(self._result_from_batch(batch))
 
     def batch_deletes(self, events: Iterable[StreamEvent | tuple]) -> MultiSnapshotResult:
         """Delete a batch of edges; returns the destroyed embeddings per query."""
         coerced = [
             e if isinstance(e, StreamEvent) else StreamEvent.delete(*e) for e in events
         ]
-        multi = self._new_result(
-            number=self._snapshot_counter, num_insertions=0, num_deletions=len(coerced)
-        )
-        self._process_delete_batch(coerced, multi)
-        self._finalize_snapshot(multi)
-        return multi
+        batch = self._pipeline.process_batch(self._snapshot_counter, [], coerced)
+        self.pipeline_batch_applied(batch)
+        return self._deliver(self._result_from_batch(batch))
 
-    # ------------------------------------------------------------------ batch plumbing
-    def _new_result(self, number: int, num_insertions: int, num_deletions: int) -> MultiSnapshotResult:
+    # ------------------------------------------------------------------ pipeline host hooks
+    def pipeline_slots(self) -> dict[int, QueryRuntime]:
+        return {qid: registered.runtime for qid, registered in self.registry.items()}
+
+    def pipeline_acquire_pool(self, pipeline: "BatchPipeline") -> SharedMemoryPool | None:
+        if self._pool is not None and self._pool_version != self.registry.version:
+            # The registry changed: the running pool is about to be replaced.
+            # Its in-flight epochs must finish before _ensure_pool closes it.
+            pipeline.flush()
+        return self._ensure_pool()
+
+    def pipeline_pool_broken(self) -> None:
+        self._release_pool()
+
+    def pipeline_make_context(
+        self,
+        runtime: QueryRuntime,
+        batch_edge_ids: set[int],
+        positive: bool,
+        shared_pool_cache: dict | None,
+    ) -> EnumerationContext:
+        return runtime.make_context(
+            self.graph, batch_edge_ids, positive, shared_pool_cache=shared_pool_cache
+        )
+
+    def pipeline_edge_inserted(self, edge_id: int) -> None:
+        pass
+
+    def pipeline_edge_deleted(self, edge_id: int) -> None:
+        pass
+
+    def pipeline_batch_applied(self, batch: "CompletedBatch") -> None:
+        """All of a batch's mutations are applied (enumeration may still run).
+
+        End-of-batch footprints (graph size, per-query DEBI bits) are
+        captured here, at mutation time: a pipelined batch completes
+        only after later batches' mutations, so reading the live state
+        at delivery time would misreport.
+        """
+        self._footprints[batch.number] = (
+            self.graph.num_edges,
+            self.graph.num_placeholders,
+            {
+                qid: registered.runtime.debi.total_bits_set()
+                for qid, registered in self.registry.items()
+            },
+        )
+        self.graph.stats.sample_snapshot(
+            batch.number, self.graph.num_placeholders, self.graph.num_edges
+        )
+        self._snapshot_counter += 1
+
+    # ------------------------------------------------------------------ result assembly
+    def _result_from_batch(self, batch: "CompletedBatch") -> MultiSnapshotResult:
+        """Map a completed pipeline batch onto the multi-query result shape."""
         from repro.core.engine import SnapshotResult
 
         multi = MultiSnapshotResult(
-            number=number, num_insertions=num_insertions, num_deletions=num_deletions
+            number=batch.number,
+            num_insertions=batch.num_insertions,
+            num_deletions=batch.num_deletions,
         )
-        for qid in self.registry.ids():
+        footprint = self._footprints.pop(batch.number, None)
+        # Row membership is decided at *batch* time, not delivery time: in
+        # pipelined mode a query registered by a sink while this batch was
+        # in flight must not receive a spurious empty row for it.  The
+        # footprint's DEBI-bits map records exactly the queries registered
+        # when the batch's mutations were applied.
+        qids = set(footprint[2]) if footprint is not None else set(self.registry.ids())
+        for phase in batch.phases():
+            qids.update(phase.per_query)
+        for qid in sorted(qids):
             multi.per_query[qid] = SnapshotResult(
-                number=number,
-                num_insertions=num_insertions,
-                num_deletions=num_deletions,
+                number=batch.number,
+                num_insertions=batch.num_insertions,
+                num_deletions=batch.num_deletions,
             )
+        collect = self.config.collect_embeddings
+        for phase in batch.phases():
+            multi.graph_update_seconds += phase.graph_update_seconds
+            multi.enumerate_wall_seconds += phase.enumerate_wall_seconds
+            for qid, query_phase in phase.per_query.items():
+                result = multi.per_query[qid]
+                outcome = query_phase.outcome
+                result.filter_seconds += query_phase.filter_seconds
+                result.filter_traversals += query_phase.filter_traversals
+                result.work_units += query_phase.work_units
+                result.candidates_scanned += query_phase.candidates_scanned
+                result.enumerate_seconds += self._attributable_seconds(outcome)
+                result.enumeration_outcomes.append(outcome)
+                if phase.positive:
+                    result.num_positive += outcome.num_embeddings
+                    if collect:
+                        result.positive_embeddings.extend(outcome.embeddings)
+                else:
+                    result.num_negative += outcome.num_embeddings
+                    if collect:
+                        result.negative_embeddings.extend(outcome.embeddings)
+        if footprint is not None:
+            live_edges, placeholders, debi_bits = footprint
+            for qid, result in multi.per_query.items():
+                result.live_edges = live_edges
+                result.edge_placeholders = placeholders
+                result.debi_bits = debi_bits.get(qid, 0)
         return multi
 
-    def _finalize_snapshot(self, multi: MultiSnapshotResult) -> None:
+    def _deliver(self, multi: MultiSnapshotResult) -> MultiSnapshotResult:
+        """Record per-query results and fire sinks (still-registered queries only)."""
         for qid, result in multi.per_query.items():
             if qid not in self.registry:  # unregistered by a sink mid-batch
                 continue
             registered = self.registry.get(qid)
-            result.live_edges = self.graph.num_edges
-            result.edge_placeholders = self.graph.num_placeholders
-            result.debi_bits = registered.runtime.debi.total_bits_set()
             registered.run_result.add(result)
             if registered.sink is not None:
                 registered.sink(qid, result)
-        self.graph.stats.sample_snapshot(
-            multi.number, self.graph.num_placeholders, self.graph.num_edges
-        )
-        self._snapshot_counter += 1
-
-    def _process_insert_batch(self, events: Sequence[StreamEvent], multi: MultiSnapshotResult) -> None:
-        import time as _time
-
-        update_start = _time.perf_counter()
-        new_ids = [
-            self.graph.add_edge(
-                event.src, event.dst, event.label, event.timestamp,
-                src_label=event.src_label, dst_label=event.dst_label,
-            )
-            for event in events
-        ]
-        multi.graph_update_seconds += _time.perf_counter() - update_start
-
-        batch = set(new_ids)
-        shared_cache = self._new_shared_cache()
-        contexts: dict[int, EnumerationContext] = {}
-        units: dict[int, list] = {}
-        for qid, registered in self.registry.items():
-            result = multi.per_query[qid]
-            filter_start = _time.perf_counter()
-            frontier = registered.runtime.index_manager.handle_insertions(new_ids)
-            result.filter_seconds += _time.perf_counter() - filter_start
-            result.filter_traversals += frontier.traversed_edges
-            context = registered.runtime.make_context(
-                self.graph, batch, positive=True, shared_pool_cache=shared_cache
-            )
-            contexts[qid] = context
-            units[qid] = decompose_batch(context, new_ids)
-            result.work_units += len(units[qid])
-
-        enum_start = _time.perf_counter()
-        outcomes = self._enumerate(contexts, units)
-        multi.enumerate_wall_seconds += _time.perf_counter() - enum_start
-        for qid, outcome in outcomes.items():
-            result = multi.per_query[qid]
-            result.enumerate_seconds += self._attributable_seconds(outcome)
-            result.candidates_scanned += contexts[qid].candidates_scanned
-            result.num_positive += outcome.num_embeddings
-            result.enumeration_outcomes.append(outcome)
-            if self.config.collect_embeddings:
-                result.positive_embeddings.extend(outcome.embeddings)
-
-    def _process_delete_batch(self, events: Sequence[StreamEvent], multi: MultiSnapshotResult) -> None:
-        import time as _time
-
-        start = _time.perf_counter()
-        doomed_ids = resolve_deletions(self.graph, events)
-        multi.graph_update_seconds += _time.perf_counter() - start
-
-        # Enumerate the embeddings about to be destroyed — for every query,
-        # before any mutation.
-        doomed_set = set(doomed_ids)
-        shared_cache = self._new_shared_cache()
-        contexts: dict[int, EnumerationContext] = {}
-        units: dict[int, list] = {}
-        for qid, registered in self.registry.items():
-            context = registered.runtime.make_context(
-                self.graph, doomed_set, positive=False, shared_pool_cache=shared_cache
-            )
-            contexts[qid] = context
-            units[qid] = decompose_batch(context, doomed_ids)
-            multi.per_query[qid].work_units += len(units[qid])
-        enum_start = _time.perf_counter()
-        outcomes = self._enumerate(contexts, units)
-        multi.enumerate_wall_seconds += _time.perf_counter() - enum_start
-
-        # One mutation pass: capture every query's row mask, delete the edge
-        # once, clear every query's DEBI row.
-        deleted: list[tuple] = []
-        for edge_id in doomed_ids:
-            row_masks = {
-                qid: registered.runtime.debi.row(edge_id)
-                for qid, registered in self.registry.items()
-            }
-            record = self.graph.delete_edge(edge_id)
-            for qid, registered in self.registry.items():
-                registered.runtime.debi.clear_edge(edge_id)
-            deleted.append((record, row_masks))
-
-        for qid, registered in self.registry.items():
-            result = multi.per_query[qid]
-            filter_start = _time.perf_counter()
-            frontier = registered.runtime.index_manager.handle_deletions(
-                [(record, masks[qid]) for record, masks in deleted]
-            )
-            result.filter_seconds += _time.perf_counter() - filter_start
-            result.filter_traversals += frontier.traversed_edges
-
-        for qid, outcome in outcomes.items():
-            result = multi.per_query[qid]
-            result.enumerate_seconds += self._attributable_seconds(outcome)
-            result.candidates_scanned += contexts[qid].candidates_scanned
-            result.num_negative += outcome.num_embeddings
-            result.enumeration_outcomes.append(outcome)
-            if self.config.collect_embeddings:
-                result.negative_embeddings.extend(outcome.embeddings)
-
-    def _new_shared_cache(self) -> dict | None:
-        """A cross-query candidate-pool cache for one enumeration phase.
-
-        Only created when at least two queries can share it: with a single
-        registered query the cache would merge scans across DEBI columns
-        and make ``candidates_scanned`` incomparable with a plain
-        :class:`~repro.core.engine.MnemonicEngine` on the same workload.
-        """
-        return {} if len(self.registry) > 1 else None
+        return multi
 
     @staticmethod
     def _attributable_seconds(outcome: EnumerationOutcome) -> float:
@@ -690,55 +668,3 @@ class MultiQueryEngine:
         every backend (for serial outcomes it is the per-unit time sum).
         """
         return sum(stats.busy_seconds for stats in outcome.worker_stats)
-
-    # ------------------------------------------------------------------ enumeration
-    def _enumerate(
-        self,
-        contexts: dict[int, EnumerationContext],
-        units: dict[int, list],
-    ) -> dict[int, EnumerationOutcome]:
-        """Run every query's units, sharing one snapshot export on the pool path."""
-        import warnings
-
-        total_units = sum(len(u) for u in units.values())
-        if total_units == 0:
-            return {qid: EnumerationOutcome([], [], 0.0) for qid in contexts}
-        self.enumeration_phases_with_units += 1
-
-        pool = self._ensure_pool()
-        if pool is not None and pool.usable and self._publish_amortized(total_units):
-            self.pool_enumeration_phases += 1
-            try:
-                return pool.run_multi(
-                    contexts, units, collect=self.config.collect_embeddings
-                )
-            except PoolBrokenError as exc:
-                self._release_pool()
-                warnings.warn(
-                    f"shared-memory pool failed mid-run ({exc}); multi-query "
-                    "enumeration falls back to the serial path",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-
-        parallel = self.config.parallel
-        if parallel.backend == "thread" and parallel.num_workers > 1:
-            return {
-                qid: _run_threads(contexts[qid], units[qid], parallel.num_workers)
-                for qid in contexts
-            }
-        return {qid: _run_serial(contexts[qid], units[qid]) for qid in contexts}
-
-    def _publish_amortized(self, total_units: int) -> bool:
-        """Is the batch big enough to amortise one O(V + E) snapshot export?
-
-        Same heuristic as the single-query dispatcher
-        (:func:`~repro.core.parallel.run_enumeration`): a phase must carry
-        enough units per worker AND enough units relative to the graph size,
-        or the publication would dominate and the serial path wins.
-        """
-        placeholders = getattr(self.graph, "num_placeholders", 0)
-        return (
-            total_units >= 2 * self.config.parallel.num_workers
-            and total_units * 1000 >= placeholders
-        )

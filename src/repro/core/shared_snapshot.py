@@ -14,22 +14,30 @@ parent *publishes* the current snapshot before each enumeration call:
   buffers are exported raw (:meth:`DEBI.export_buffers`),
 * the batch edge-id set joins them as one more int64 array,
 
-and all of them are memcpy'd into a single
-``multiprocessing.shared_memory`` segment.  Workers receive only a small
-*descriptor* (segment name + per-array dtype/shape/offset + epoch) and
-attach zero-copy numpy views over the segment — no object
-deserialisation on the hot path.
+and all of them are memcpy'd into a ``multiprocessing.shared_memory``
+segment.  Workers receive only a small *descriptor* (segment name +
+per-array dtype/shape/offset + epoch) and attach zero-copy numpy views
+over the segment — no object deserialisation on the hot path.
 
-Segment lifecycle
------------------
-:class:`SharedSnapshotWriter` (parent side) reuses one segment across
-batches, growing it geometrically when a snapshot outgrows the current
-capacity.  Each publication bumps an *epoch*; a worker's
-:class:`SnapshotAttachment` caches its attachment and numpy views per
-epoch and re-attaches only when the segment was replaced.  On POSIX an
-unlinked segment stays mapped until the last attachment closes, so the
-parent can safely replace the segment while workers still hold the old
-one.
+Epochs and double buffering
+---------------------------
+Every publication opens a new *epoch* (a monotonically increasing
+counter).  :class:`SharedSnapshotWriter` keeps **two** segment slots and
+alternates between them: epoch ``e`` lives in slot ``e % 2``, so the
+writer always memcpy's into the slot the *previous* epoch is not using.
+This is what makes pipelined execution safe: the engine can stage and
+publish batch ``k+1``'s snapshot while pool workers are still
+enumerating batch ``k`` over the other slot — an in-place overwrite of a
+single segment would corrupt their in-flight reads.  At most two epochs
+may therefore be in flight at once; the pool drains epoch ``e`` before
+the writer reuses its slot for epoch ``e + 2``.
+
+A worker's :class:`SnapshotAttachment` keeps one mapping per segment
+*name* and re-maps only when a slot's segment was replaced (capacity
+growth); flipping between the two slots costs no re-attachment.  On
+POSIX an unlinked segment stays mapped until the last attachment closes,
+so the parent can safely replace a segment while workers still hold the
+old one.
 """
 
 from __future__ import annotations
@@ -83,11 +91,50 @@ def _align(offset: int, alignment: int = 8) -> int:
     return (offset + alignment - 1) // alignment * alignment
 
 
-class SharedSnapshotWriter:
-    """Parent-side publisher: copies snapshot arrays into one shm segment."""
+class _SegmentSlot:
+    """One shared-memory segment of the double-buffered writer."""
+
+    __slots__ = ("shm",)
 
     def __init__(self) -> None:
-        self._shm: "SharedMemory | None" = None
+        self.shm: "SharedMemory | None" = None
+
+    def ensure_capacity(self, needed: int) -> None:
+        """(Re)allocate the segment so it holds ``needed`` bytes."""
+        if self.shm is not None and self.shm.size >= needed:
+            return
+        from multiprocessing import shared_memory
+
+        self.close()
+        # 1.5x slack so steadily growing graphs do not reallocate every batch.
+        capacity = max(needed + needed // 2, 4096)
+        name = f"mnemonic_{secrets.token_hex(6)}"
+        self.shm = shared_memory.SharedMemory(name=name, create=True, size=capacity)
+
+    def close(self) -> None:
+        if self.shm is not None:
+            try:
+                self.shm.close()
+                self.shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+                pass
+            self.shm = None
+
+
+class SharedSnapshotWriter:
+    """Parent-side publisher: copies snapshot arrays into alternating slots.
+
+    ``num_slots=2`` (the default) is the double-buffered configuration
+    used by the pool: consecutive epochs land in different segments, so
+    a publication never overwrites the epoch workers may still be
+    enumerating.  ``num_slots=1`` restores the replace-on-publish layout
+    for callers that never overlap epochs.
+    """
+
+    def __init__(self, num_slots: int = 2) -> None:
+        if num_slots < 1:
+            raise ValueError("num_slots must be >= 1")
+        self._slots = [_SegmentSlot() for _ in range(num_slots)]
         self._epoch = 0
 
     # ------------------------------------------------------------------ publication
@@ -98,7 +145,7 @@ class SharedSnapshotWriter:
         batch_edge_ids,
         positive: bool,
     ) -> dict:
-        """Copy the current snapshot into shared memory; return its descriptor.
+        """Copy the current snapshot into the inactive slot; return its descriptor.
 
         ``debis`` is either one index (single-query engine) or a
         ``query_id -> DEBI`` mapping (multi-query engine); either way the
@@ -110,7 +157,11 @@ class SharedSnapshotWriter:
         """
         if not isinstance(debis, dict):
             debis = {0: debis}
-        csr = graph.export_csr()
+        # The live DynamicGraph offers a journal-driven incremental export
+        # (small batches splice into the cached arrays); snapshot views and
+        # other graph lookalikes only offer the full rebuild.
+        export_delta = getattr(graph, "export_csr_delta", None)
+        csr = export_delta() if export_delta is not None else graph.export_csr()
         arrays = dict(csr.arrays())
         debi_meta: dict[int, dict] = {}
         for qid, debi in debis.items():
@@ -134,9 +185,11 @@ class SharedSnapshotWriter:
             offset += arr.nbytes
         total = max(offset, 1)
 
-        if self._shm is None or self._shm.size < total:
-            self._replace_segment(total)
-        buf = self._shm.buf
+        # The *next* epoch decides the slot, so consecutive epochs always
+        # land in different segments (double-buffer invariant).
+        slot = self._slots[(self._epoch + 1) % len(self._slots)]
+        slot.ensure_capacity(total)
+        buf = slot.shm.buf
         for key, arr in arrays.items():
             dtype, shape, off = layout[key]
             dest = np.ndarray(shape, dtype=dtype, buffer=buf, offset=off)
@@ -144,7 +197,7 @@ class SharedSnapshotWriter:
 
         self._epoch += 1
         return {
-            "name": self._shm.name,
+            "name": slot.shm.name,
             "epoch": self._epoch,
             "layout": layout,
             "num_live_edges": csr.num_live_edges,
@@ -152,44 +205,59 @@ class SharedSnapshotWriter:
             "positive": positive,
         }
 
-    def _replace_segment(self, needed: int) -> None:
-        from multiprocessing import shared_memory
-
-        self.close()
-        # 1.5x slack so steadily growing graphs do not reallocate every batch.
-        capacity = max(needed + needed // 2, 4096)
-        name = f"mnemonic_{secrets.token_hex(6)}"
-        self._shm = shared_memory.SharedMemory(name=name, create=True, size=capacity)
-
     @property
     def epoch(self) -> int:
         return self._epoch
 
+    @property
+    def num_slots(self) -> int:
+        return len(self._slots)
+
     # ------------------------------------------------------------------ lifecycle
     def close(self) -> None:
-        """Unlink the current segment (workers keep their mappings until they detach)."""
-        if self._shm is not None:
-            try:
-                self._shm.close()
-                self._shm.unlink()
-            except (FileNotFoundError, OSError):  # pragma: no cover - already gone
-                pass
-            self._shm = None
+        """Unlink every segment (workers keep their mappings until they detach)."""
+        for slot in self._slots:
+            slot.close()
 
 
 class SnapshotAttachment:
     """Worker-side attachment: rebuild graph / DEBI views from a descriptor.
 
-    Caches the attachment and the derived views per epoch so that many
-    work-unit chunks of the same batch pay the attach + view construction
-    cost once.
+    Caches the derived views per epoch (many work-unit chunks of the
+    same batch pay the view construction once) and one segment mapping
+    per name, so flipping between the writer's two slots never re-maps —
+    only a slot whose segment was replaced (capacity growth) triggers a
+    fresh attach.  Stale mappings are dropped lazily: the writer runs at
+    most ``num_slots`` live segments, so the attachment keeps at most
+    that many once it has seen each slot.
     """
 
+    #: mappings kept per worker; matches the writer's two slots plus slack
+    #: for segments replaced by growth (they are unlinked parent-side and
+    #: reclaimed once dropped here)
+    _MAX_MAPPINGS = 4
+
     def __init__(self) -> None:
-        self._shm: "SharedMemory | None" = None
-        self._name: str | None = None
+        self._segments: dict[str, "SharedMemory"] = {}
         self._epoch: int | None = None
         self._views: tuple | None = None
+
+    def _segment(self, name: str) -> "SharedMemory":
+        shm = self._segments.get(name)
+        if shm is None:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(name=name)
+            self._segments[name] = shm
+            while len(self._segments) > self._MAX_MAPPINGS:
+                # Oldest mapping first (dict preserves insertion order).
+                stale_name = next(iter(self._segments))
+                stale = self._segments.pop(stale_name)
+                try:
+                    stale.close()
+                except OSError:  # pragma: no cover - mapping already gone
+                    pass
+        return shm
 
     def views(self, descriptor: dict, trees) -> tuple:
         """Return ``(graph_view, debis, batch_edge_ids)`` for ``descriptor``.
@@ -201,17 +269,10 @@ class SnapshotAttachment:
         """
         if descriptor["epoch"] == self._epoch and self._views is not None:
             return self._views
-        from multiprocessing import shared_memory
-
         from repro.core.debi import DEBI
         from repro.graph.adjacency import CSRGraphView, CSRSnapshot
 
-        if descriptor["name"] != self._name:
-            self.detach()
-            self._shm = shared_memory.SharedMemory(name=descriptor["name"])
-            self._name = descriptor["name"]
-
-        buf = self._shm.buf
+        buf = self._segment(descriptor["name"]).buf
         arrays: dict[str, np.ndarray] = {}
         for key, (dtype, shape, offset) in descriptor["layout"].items():
             view = np.ndarray(shape, dtype=dtype, buffer=buf, offset=offset)
@@ -256,19 +317,18 @@ class SnapshotAttachment:
         self._epoch = descriptor["epoch"]
         self._views = (
             graph_view,
-            next(iter(debis.values())) if single else debis,
+            next(iter(debis.values())) if single and debis else debis,
             batch_edge_ids,
         )
         return self._views
 
     def detach(self) -> None:
-        """Drop the cached views and close the segment mapping."""
+        """Drop the cached views and close every segment mapping."""
         self._views = None
         self._epoch = None
-        self._name = None
-        if self._shm is not None:
+        segments, self._segments = self._segments, {}
+        for shm in segments.values():
             try:
-                self._shm.close()
+                shm.close()
             except OSError:  # pragma: no cover - mapping already gone
                 pass
-            self._shm = None

@@ -179,3 +179,120 @@ class TestBulkHelpers:
         graph.stats.sample_snapshot(0, graph.num_placeholders, graph.num_edges)
         assert graph.stats.snapshots[0]["placeholders"] == 1
         assert graph.stats.peak_live == 1
+
+
+class TestIncrementalCSRExport:
+    """The delta journal + spliced export must be element-identical to a
+    full rebuild, for every mix of inserts, deletes, recycled ids and
+    brand-new vertices."""
+
+    @staticmethod
+    def assert_snapshots_equal(a, b):
+        import numpy as np
+
+        for key, arr in a.arrays().items():
+            assert np.array_equal(arr, b.arrays()[key]), key
+        assert a.num_live_edges == b.num_live_edges
+
+    def test_journal_tracks_touched_edges_and_vertices(self):
+        graph = DynamicGraph()
+        graph.add_edge(1, 2, label=3)
+        assert graph.journal_size == (2, 1)
+        graph.export_csr()
+        assert graph.journal_size == (0, 0)
+        eid = graph.add_edge(2, 3, label=3)
+        graph.delete_edge(eid)
+        assert graph.journal_size == (2, 1)
+
+    def test_delta_without_cache_falls_back_to_full(self):
+        graph = DynamicGraph()
+        graph.add_edge(1, 2, label=3)
+        snapshot = graph.export_csr_delta()
+        assert snapshot.num_live_edges == 1
+        assert graph.journal_size == (0, 0)
+
+    def test_small_delta_is_spliced(self, monkeypatch):
+        graph = DynamicGraph()
+        for i in range(60):
+            graph.add_edge(i, (i + 1) % 60, label=i % 3, timestamp=float(i))
+        graph.export_csr()
+        calls = []
+        original = DynamicGraph._splice_csr
+
+        def counting(self, prev):
+            calls.append(prev)
+            return original(self, prev)
+
+        monkeypatch.setattr(DynamicGraph, "_splice_csr", counting)
+        graph.add_edge(5, 7, label=1, timestamp=99.0)
+        delta = graph.export_csr_delta()
+        assert len(calls) == 1, "small batch must take the splice path"
+        self.assert_snapshots_equal(delta, graph.copy().export_csr())
+
+    def test_large_delta_falls_back_to_full_rebuild(self, monkeypatch):
+        graph = DynamicGraph()
+        for i in range(20):
+            graph.add_edge(i, i + 1, label=0)
+        graph.export_csr()
+        monkeypatch.setattr(
+            DynamicGraph, "_splice_csr",
+            lambda self, prev: pytest.fail("large batch must rebuild fully"),
+        )
+        for i in range(20):  # touches most vertices
+            graph.add_edge(i, i + 2, label=1)
+        snapshot = graph.export_csr_delta()
+        assert snapshot.num_live_edges == 40
+
+    def test_randomised_splice_parity(self):
+        import random
+
+        import numpy as np
+
+        rng = random.Random(5)
+        graph = DynamicGraph()
+        edges = []
+        for _ in range(1500):
+            e = graph.add_edge(
+                rng.randrange(300), rng.randrange(300),
+                label=rng.randrange(4), timestamp=rng.random(),
+            )
+            edges.append(e)
+        graph.export_csr()
+        spliced = 0
+        for _ in range(40):
+            for _ in range(rng.randrange(6)):
+                v = rng.randrange(320)  # occasionally a brand-new vertex
+                e = graph.add_edge(v, rng.randrange(320), label=rng.randrange(4),
+                                   timestamp=rng.random())
+                edges.append(e)
+            rng.shuffle(edges)
+            for _ in range(rng.randrange(4)):
+                if edges:
+                    e = edges.pop()
+                    if graph.is_alive(e):
+                        graph.delete_edge(e)  # recycles ids
+            before = graph.journal_size
+            delta = graph.export_csr_delta()
+            if 0 < before[0] <= 300 * DynamicGraph.INCREMENTAL_EXPORT_MAX_DIRTY_FRACTION:
+                spliced += 1
+            self.assert_snapshots_equal(delta, graph.copy().export_csr())
+            assert graph.journal_size == (0, 0)
+            # Arrays are fresh objects: the cached previous snapshot is
+            # never patched in place (consumers may still hold it).
+            assert delta.edge_src.flags.owndata or delta.edge_src.base is None
+        assert spliced > 20, f"splice path under-exercised ({spliced}/40 rounds)"
+
+    def test_recycled_id_changes_are_patched(self):
+        graph = DynamicGraph()
+        a = graph.add_edge(1, 2, label=3, timestamp=1.0)
+        graph.add_edge(2, 3, label=4, timestamp=2.0)
+        graph.export_csr()
+        graph.delete_edge(a)
+        recycled = graph.add_edge(1, 5, label=9, timestamp=7.0)
+        assert recycled == a  # id reuse is the point
+        delta = graph.export_csr_delta()
+        assert delta.edge_dst[recycled] == 5
+        assert delta.edge_label[recycled] == 9
+        assert delta.edge_timestamp[recycled] == 7.0
+        assert delta.edge_alive[recycled] == 1
+        self.assert_snapshots_equal(delta, graph.copy().export_csr())

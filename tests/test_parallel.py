@@ -38,6 +38,51 @@ class TestParallelConfig:
             ParallelConfig(chunk_size=0)
 
 
+class TestUtilisationEdgeCases:
+    """Division edge cases: zero wall-clock windows and empty worker lists."""
+
+    def test_zero_wall_busy_worker_is_fully_utilised(self):
+        from repro.core.parallel import WorkerStats
+
+        stats = WorkerStats(worker_id=0, busy_seconds=0.5)
+        assert stats.utilisation(0.0) == 1.0
+        assert stats.utilisation(-1.0) == 1.0
+
+    def test_zero_wall_idle_worker_is_idle(self):
+        from repro.core.parallel import WorkerStats
+
+        stats = WorkerStats(worker_id=0, busy_seconds=0.0)
+        assert stats.utilisation(0.0) == 0.0
+
+    def test_utilisation_capped_at_one(self):
+        from repro.core.parallel import WorkerStats
+
+        # Busy time can exceed a noisy tiny wall measurement; never report > 1.
+        stats = WorkerStats(worker_id=0, busy_seconds=2.0)
+        assert stats.utilisation(1.0) == 1.0
+        assert stats.utilisation(4.0) == 0.5
+
+    def test_mean_utilisation_empty_worker_list(self):
+        from repro.core.parallel import EnumerationOutcome
+
+        outcome = EnumerationOutcome(embeddings=[], worker_stats=[], wall_seconds=0.0)
+        assert outcome.mean_utilisation() == 0.0
+
+    def test_mean_utilisation_zero_wall(self):
+        from repro.core.parallel import EnumerationOutcome, WorkerStats
+
+        outcome = EnumerationOutcome(
+            embeddings=[],
+            worker_stats=[
+                WorkerStats(worker_id=0, busy_seconds=0.1),
+                WorkerStats(worker_id=1, busy_seconds=0.0),
+            ],
+            wall_seconds=0.0,
+        )
+        # One fully-utilised worker, one idle: the mean stays in [0, 1].
+        assert outcome.mean_utilisation() == 0.5
+
+
 class TestBackendsAgree:
     @pytest.mark.parametrize("backend,workers", [("thread", 4), ("process", 2)])
     def test_backend_matches_serial(self, backend, workers):

@@ -183,6 +183,131 @@ class TestSharedSnapshotRoundTrip:
             writer.close()
 
 
+class TestDoubleBufferedWriter:
+    """Epoch/slot behaviour of the two-slot writer: segment reuse across
+    epochs, growth/shrink/regrowth, zero-query publications, and
+    detaching while the writer still holds the segments."""
+
+    def test_consecutive_epochs_use_alternating_segments(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        graph = small_graph()
+        debi, tree = build_debi_fixture()
+        writer = SharedSnapshotWriter()
+        try:
+            assert writer.num_slots == 2
+            names = [
+                writer.publish(graph, debi, {0}, positive=True)["name"]
+                for _ in range(4)
+            ]
+            # Epoch e and e+1 never share a segment (the double-buffer
+            # invariant pipelining relies on); epoch e and e+2 reuse one.
+            assert names[0] != names[1]
+            assert names[0] == names[2]
+            assert names[1] == names[3]
+        finally:
+            writer.close()
+
+    def test_segment_grow_shrink_regrow(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        debi, tree = build_debi_fixture()
+        writer = SharedSnapshotWriter()
+        attachment = SnapshotAttachment()
+
+        def graph_of(num_edges: int) -> DynamicGraph:
+            graph = DynamicGraph()
+            for i in range(num_edges):
+                graph.add_edge(i, i + 1, label=7, timestamp=float(i))
+            return graph
+
+        try:
+            small = writer.publish(graph_of(4), debi, {0}, positive=True)
+            # Grow: a much larger snapshot must replace the slot's segment.
+            big_graph = graph_of(600)
+            big_debi, _ = build_debi_fixture()
+            grown = writer.publish(big_graph, big_debi, set(range(600)), positive=True)
+            view, _, batch = attachment.views(grown, tree)
+            assert view.num_edges == 600
+            assert len(batch) == 600
+            # Shrink: a small snapshot fits the grown segment (same name,
+            # no reallocation) two epochs later when its slot comes round.
+            shrunk = writer.publish(graph_of(3), debi, {0}, positive=False)
+            shrunk_again = writer.publish(graph_of(3), debi, {0}, positive=False)
+            assert shrunk_again["name"] == grown["name"]
+            view2, _, _ = attachment.views(shrunk_again, tree)
+            assert view2.num_edges == 3
+            # Regrow beyond the first growth: replaced again, still readable.
+            regrown = writer.publish(
+                graph_of(2000), big_debi, set(range(2000)), positive=True
+            )
+            view3, _, batch3 = attachment.views(regrown, tree)
+            assert view3.num_edges == 2000
+            assert len(batch3) == 2000
+            assert shrunk["epoch"] < shrunk_again["epoch"] < regrown["epoch"]
+        finally:
+            attachment.detach()
+            writer.close()
+
+    def test_zero_query_multi_publish(self):
+        """A multi-query engine may evaluate a batch with no registered
+        queries: the publication ships the graph and an empty DEBI map."""
+        pytest.importorskip("multiprocessing.shared_memory")
+        graph = small_graph()
+        writer = SharedSnapshotWriter()
+        attachment = SnapshotAttachment()
+        try:
+            descriptor = writer.publish(graph, {}, {0, 1}, positive=True)
+            assert descriptor["debi_meta"] == {}
+            view, debis, batch = attachment.views(descriptor, {})
+            assert debis == {}
+            assert batch == {0, 1}
+            assert view.num_edges == graph.num_edges
+        finally:
+            attachment.detach()
+            writer.close()
+
+    def test_detach_while_writer_attached(self):
+        """A worker detaching mid-stream must not disturb the writer or
+        other attachments; re-attaching afterwards works."""
+        pytest.importorskip("multiprocessing.shared_memory")
+        graph = small_graph()
+        debi, tree = build_debi_fixture()
+        writer = SharedSnapshotWriter()
+        first = SnapshotAttachment()
+        second = SnapshotAttachment()
+        try:
+            descriptor = writer.publish(graph, debi, {0}, positive=True)
+            view1, _, _ = first.views(descriptor, tree)
+            view2, _, _ = second.views(descriptor, tree)
+            assert list(view1.edges()) == list(view2.edges())
+            first.detach()  # worker goes away; segment stays mapped elsewhere
+            assert list(view2.edges()) == list(graph.edges())
+            # The detached attachment can come back for a later epoch.
+            later = writer.publish(graph, debi, {1}, positive=False)
+            view3, _, batch3 = first.views(later, tree)
+            assert batch3 == {1}
+            assert view3.num_edges == graph.num_edges
+        finally:
+            first.detach()
+            second.detach()
+            writer.close()
+
+    def test_detach_is_idempotent_and_releases_mappings(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        graph = small_graph()
+        debi, tree = build_debi_fixture()
+        writer = SharedSnapshotWriter()
+        attachment = SnapshotAttachment()
+        try:
+            for _ in range(3):  # map both slots
+                attachment.views(writer.publish(graph, debi, {0}, True), tree)
+            assert len(attachment._segments) == 2
+            attachment.detach()
+            assert attachment._segments == {}
+            attachment.detach()  # second detach is a no-op
+        finally:
+            writer.close()
+
+
 class TestEmbeddingPacking:
     def test_pack_unpack_round_trip(self):
         embeddings = [
