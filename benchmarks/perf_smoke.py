@@ -23,6 +23,15 @@ bit-identical positive *and* negative result sets to the serial mode,
 and every pool-dispatched phase must publish exactly one epoch (the
 double-buffered writer never publishes more or fewer).
 
+The ``service_parity`` gate protects the streaming service layer: on a
+boundary-invariant insert+delete stream, broker-fed runs (fixed-size
+batching through the producer thread) and adaptive runs (virtual-clock
+rate-controlled replay with ``max_batch_delay`` flushing) must produce
+positive and negative identity sets bit-identical to the fixed-batch
+serial engine, in both serial and pipelined modes; broker-fed runs must
+additionally leave ``candidates_scanned`` untouched and every run must
+report an ingest-to-result latency rollup.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py                    # gate vs baseline
@@ -36,7 +45,11 @@ import json
 import os
 import sys
 
-from repro.bench.harness import run_mnemonic_stream, run_multi_query_stream
+from repro.bench.harness import (
+    run_mnemonic_stream,
+    run_multi_query_stream,
+    run_service_stream,
+)
 from repro.bench.metrics import traversals_per_update
 from repro.core.parallel import ParallelConfig
 from repro.datasets import NetFlowConfig, build_query_workload, generate_netflow_stream
@@ -58,6 +71,13 @@ MULTI_QUERY_GRAPH_SIZES = (5, 6)
 
 #: allowed relative growth of candidates_scanned before the job fails
 REGRESSION_TOLERANCE = 0.20
+
+#: figures gated against perf_baseline.json.  service_parity is excluded:
+#: its adaptive rows batch by arrival time, so their scan counts shift a
+#: little with thread interleaving — the gate instead asserts the strong
+#: invariants directly (identity-set equality; broker rows must match the
+#: serial scan count *exactly*) every run.
+BASELINE_FIGURES = ("fig06", "fig08", "multi_query", "pipeline_parity")
 
 
 def build_workload():
@@ -193,6 +213,142 @@ def run_pipeline_parity(stream) -> tuple[dict, list[str]]:
     return metrics, failures
 
 
+def build_parity_mixed_stream(stream, prefix) -> list[StreamEvent]:
+    """An insert+delete stream whose result identities are batch-boundary invariant.
+
+    The adaptive (broker-fed) runs batch by *arrival time*, so their
+    batch boundaries legitimately differ from the fixed-size serial
+    baseline; the gate therefore needs a stream whose aggregate positive
+    and negative identity sets cannot depend on where batches split:
+
+    * deletions target only triples that are **unique** in the whole
+      stream, so deletion resolution picks the same edge instance no
+      matter the graph state it runs against;
+    * every deletion is placed (all deletions trail the whole suffix)
+      so that **more than one batch cap of events** separates it from
+      its insertion — enforced per candidate during construction, not
+      assumed — so a deletion can never share a batch with its
+      insertion under any boundary alignment: the in-batch cancellation
+      elision never fires and edge-id assignment is identical across
+      runs.
+    """
+    from collections import Counter
+
+    suffix = stream[prefix:]
+    triple_counts = Counter(e.as_triple() for e in stream)
+    candidates = [
+        (position, event)
+        for position, event in enumerate(suffix[: len(suffix) // 2])
+        if event.kind is EventKind.INSERT and triple_counts[event.as_triple()] == 1
+    ][::2]
+    deletes: list[StreamEvent] = []
+    for insert_position, event in candidates:
+        delete_position = len(suffix) + len(deletes)
+        if delete_position - insert_position > FIG06_BATCH:
+            deletes.append(
+                StreamEvent.delete(event.src, event.dst, event.label,
+                                   timestamp=event.timestamp)
+            )
+    assert deletes, "parity stream needs unique-triple deletions to be meaningful"
+    return list(stream[:prefix]) + list(suffix) + deletes
+
+
+def run_service_parity(stream) -> tuple[dict, list[str]]:
+    """The service-layer gate: broker-fed / adaptive runs vs the fixed serial engine.
+
+    Four configurations are compared against the fixed-batch serial
+    baseline on an insert+delete stream:
+
+    * ``broker`` (serial / pipelined): the same fixed-size batching, fed
+      through the StreamBroker's producer thread — batch boundaries are
+      identical, so positive and negative identity sets must match the
+      baseline exactly, and the serial row's ``candidates_scanned`` must
+      not move at all;
+    * ``adaptive`` (serial / pipelined): rate-controlled virtual-clock
+      replay with ``max_batch_delay`` flushing — boundaries differ, but
+      on the boundary-invariant mixed stream the identity sets must
+      still match bit-for-bit.
+
+    Every broker-fed run must also report an ingest-to-result latency
+    rollup (the accounting the fig18 benchmark builds on).
+    """
+    from repro.streams.clock import VirtualClock
+
+    workload = build_query_workload(
+        stream, tree_sizes=(3, 6), graph_sizes=(),
+        queries_per_suite=1, prefix=2000, seed=11,
+    )
+    prefix = len(stream) - FIG06_SUFFIX
+    mixed = build_parity_mixed_stream(stream, prefix)
+    parallel = ParallelConfig(backend="process", num_workers=2, chunk_size=32)
+    adaptive_rate = 4000.0
+    adaptive_delay = 4.5 / adaptive_rate  # ~5-event batches at uniform arrivals
+    failures: list[str] = []
+    metrics: dict[str, dict] = {}
+    for suite, query in workload:
+        baseline = run_mnemonic_stream(
+            query, mixed, initial_prefix=prefix, batch_size=FIG06_BATCH,
+            stream_type=StreamType.INSERT_DELETE, collect_embeddings=True,
+            query_name=suite,
+        )
+        base_pos = positive_identities(baseline.run_result)
+        base_neg = negative_identities(baseline.run_result)
+        if not base_pos or not base_neg:
+            failures.append(
+                f"service_parity/{suite}: vacuous gate (positives={len(base_pos)}, "
+                f"negatives={len(base_neg)})"
+            )
+        runs = {
+            "broker_serial": dict(pipeline="serial"),
+            "broker_pipelined": dict(pipeline="pipelined", parallel=parallel),
+            "adaptive_serial": dict(
+                pipeline="serial", events_per_second=adaptive_rate,
+                max_batch_delay=adaptive_delay, clock=VirtualClock(),
+            ),
+            "adaptive_pipelined": dict(
+                pipeline="pipelined", parallel=parallel,
+                events_per_second=adaptive_rate,
+                max_batch_delay=adaptive_delay, clock=VirtualClock(),
+            ),
+        }
+        for mode, kwargs in runs.items():
+            run = run_service_stream(
+                query, mixed, initial_prefix=prefix, batch_size=FIG06_BATCH,
+                stream_type=StreamType.INSERT_DELETE, collect_embeddings=True,
+                query_name=suite, **kwargs,
+            )
+            label = f"service_parity/{suite}.{mode}"
+            if positive_identities(run.run_result) != base_pos:
+                failures.append(f"{label}: positive results differ from fixed serial")
+            if negative_identities(run.run_result) != base_neg:
+                failures.append(f"{label}: negative results differ from fixed serial")
+            if mode == "broker_serial":
+                # Identical batching AND identical backend: the scan
+                # counter must not move at all.  (The pipelined rows use
+                # the worker pool, where each worker pays its own first
+                # touch on the shared scan cache, so their counter is
+                # only comparable to other pool runs — pipeline_parity
+                # covers that comparison.)
+                if run.extra["candidates_scanned"] != baseline.extra["candidates_scanned"]:
+                    failures.append(
+                        f"{label}: candidates_scanned changed "
+                        f"({baseline.extra['candidates_scanned']} -> "
+                        f"{run.extra['candidates_scanned']})"
+                    )
+            if not run.latency:
+                failures.append(f"{label}: broker-fed run reported no latency rollup")
+            metrics[f"{suite}.{mode}"] = {
+                "seconds": run.seconds,
+                "candidates_scanned": run.extra["candidates_scanned"],
+                "snapshots": run.extra["snapshots"],
+                "positive": run.embeddings,
+                "negative": run.negative_embeddings,
+                "latency_p50": run.latency.get("p50"),
+                "latency_p99": run.latency.get("p99"),
+            }
+    return metrics, failures
+
+
 def run_multi_query(stream) -> tuple[dict, list[str]]:
     """The multi-query sharing gate: 8 standing queries vs 8 engines.
 
@@ -320,12 +476,15 @@ def main(argv: list[str] | None = None) -> int:
     stream, workload = build_workload()
     multi_metrics, sharing_failures = run_multi_query(stream)
     parity_metrics, parity_failures = run_pipeline_parity(stream)
+    service_metrics, service_failures = run_service_parity(stream)
     sharing_failures.extend(parity_failures)
+    sharing_failures.extend(service_failures)
     current = {
         "fig06": run_fig06(stream, workload),
         "fig08": run_fig08(stream, workload),
         "multi_query": multi_metrics,
         "pipeline_parity": parity_metrics,
+        "service_parity": service_metrics,
     }
 
     with open(OUTPUT_PATH, "w", encoding="utf-8") as fh:
@@ -339,14 +498,16 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     if sharing_failures:
-        print("multi-query sharing / pipeline parity gate FAILED:", file=sys.stderr)
+        print("multi-query sharing / pipeline / service parity gate FAILED:",
+              file=sys.stderr)
         for line in sharing_failures:
             print(f"  {line}", file=sys.stderr)
         return 1
 
     if args.write_baseline:
         with open(BASELINE_PATH, "w", encoding="utf-8") as fh:
-            json.dump(current, fh, indent=2, sort_keys=True)
+            json.dump({k: current[k] for k in BASELINE_FIGURES}, fh,
+                      indent=2, sort_keys=True)
         print(f"wrote {BASELINE_PATH}")
         return 0
 

@@ -17,10 +17,9 @@ must be identical to the independent engines'.
 
 from __future__ import annotations
 
+from benchmarks.conftest import write_result
 from repro.bench.harness import run_mnemonic_stream, run_multi_query_stream
 from repro.datasets import build_query_workload
-
-from benchmarks.conftest import write_result
 
 #: suffix streamed after the initial load, and the per-snapshot batch size
 SUFFIX = 400

@@ -30,19 +30,30 @@ Quickstart::
 """
 
 from repro.core.api import DefaultMatchDefinition, MatchDefinition
-from repro.core.engine import EngineConfig, MnemonicEngine, RunResult, SnapshotResult, enumerate_static
+from repro.core.engine import (
+    EngineConfig,
+    MnemonicEngine,
+    RunResult,
+    SnapshotResult,
+    enumerate_static,
+)
 from repro.core.parallel import ParallelConfig
 from repro.core.registry import MultiQueryEngine, QueryRegistry
 from repro.core.results import CollectingSink, Embedding, ResultSet
+from repro.core.service import MnemonicService
 from repro.graph.adjacency import DynamicGraph
-from repro.query.query_graph import QueryGraph, WILDCARD_LABEL
+from repro.query.query_graph import WILDCARD_LABEL, QueryGraph
+from repro.streams.broker import StreamBroker
+from repro.streams.clock import VirtualClock, WallClock
 from repro.streams.config import StreamConfig, StreamType
 from repro.streams.events import StreamEvent
+from repro.streams.sources import ReplaySource
 
 __version__ = "1.0.0"
 
 __all__ = [
     "MnemonicEngine",
+    "MnemonicService",
     "MultiQueryEngine",
     "QueryRegistry",
     "CollectingSink",
@@ -58,8 +69,12 @@ __all__ = [
     "DynamicGraph",
     "QueryGraph",
     "WILDCARD_LABEL",
+    "StreamBroker",
     "StreamConfig",
     "StreamType",
     "StreamEvent",
+    "ReplaySource",
+    "VirtualClock",
+    "WallClock",
     "__version__",
 ]

@@ -18,10 +18,10 @@ comparisons exercise genuinely different code paths:
   (Figure 16).
 """
 
-from repro.baselines.ceci import CECIMatcher
-from repro.baselines.turboflux import TurboFluxMatcher
 from repro.baselines.bigjoin import BigJoinMatcher
+from repro.baselines.ceci import CECIMatcher
 from repro.baselines.li_tcs import LiTCSMatcher
+from repro.baselines.turboflux import TurboFluxMatcher
 
 __all__ = [
     "CECIMatcher",

@@ -18,10 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.api import MatchDefinition, DefaultMatchDefinition
+from repro.core.api import DefaultMatchDefinition, MatchDefinition
 from repro.core.results import Embedding
 from repro.graph.adjacency import DynamicGraph
-from repro.query.query_graph import QueryGraph, WILDCARD_LABEL
+from repro.query.query_graph import WILDCARD_LABEL, QueryGraph
 from repro.query.query_tree import QueryTree, TreeEdge
 
 

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 from repro.core.api import DefaultMatchDefinition, MatchDefinition
 from repro.core.results import Embedding
-from repro.query.query_graph import QueryEdge, QueryGraph, WILDCARD_LABEL
+from repro.query.query_graph import WILDCARD_LABEL, QueryEdge, QueryGraph
 from repro.query.query_tree import QueryTree
 from repro.utils.validation import GraphError
 

@@ -23,8 +23,16 @@ from repro.core.parallel import ParallelConfig
 from repro.core.registry import MultiQueryEngine, MultiRunResult
 from repro.datasets.queries import graph_from_events
 from repro.query.query_graph import QueryGraph
+from repro.streams.broker import StreamBroker
+from repro.streams.clock import Clock, WallClock
 from repro.streams.config import StreamConfig, StreamType
 from repro.streams.events import EventKind, StreamEvent
+from repro.streams.sources import ListSource, ReplaySource, StreamSource
+
+
+#: floor for the timed section when computing rates: perf_counter deltas on
+#: coarse-clock platforms can round a tiny measured section to exactly 0.0
+MIN_TIMED_SECONDS = 1e-9
 
 
 @dataclass
@@ -39,15 +47,24 @@ class BenchRun:
     negative_embeddings: int = 0
     #: auxiliary metrics (traversals, stored partials, index entries, ...)
     extra: dict = field(default_factory=dict)
+    #: ingest-to-result latency rollup (count/mean/p50/p95/p99/max) for
+    #: broker-fed runs; empty when the stream carried no arrival stamps
+    latency: dict = field(default_factory=dict)
     #: the engine RunResult when the system is Mnemonic (None otherwise)
     run_result: RunResult | None = None
 
     @property
     def throughput(self) -> float:
-        """Embeddings per second (0 when nothing was found)."""
-        if self.seconds <= 0:
+        """Embeddings per second (0 when nothing was found).
+
+        The timed section is clamped to :data:`MIN_TIMED_SECONDS`: a tiny
+        run whose wall-clock rounded to <= 0 seconds used to report 0.0
+        and silently drop the embeddings it did find.
+        """
+        found = self.embeddings + self.negative_embeddings
+        if found == 0:
             return 0.0
-        return (self.embeddings + self.negative_embeddings) / self.seconds
+        return found / max(self.seconds, MIN_TIMED_SECONDS)
 
 
 # ---------------------------------------------------------------------- Mnemonic
@@ -117,6 +134,82 @@ def run_mnemonic_stream(
                 "enumeration_phases": engine.enumeration_phases_with_units,
                 "pool_phases": engine.pool_enumeration_phases,
             },
+            latency=result.latency_summary() or {},
+            run_result=result,
+        )
+    finally:
+        engine.close()
+
+
+# ---------------------------------------------------------------------- Mnemonic, service layer
+def run_service_stream(
+    query: QueryGraph,
+    stream: Sequence[StreamEvent],
+    match_def: MatchDefinition | None = None,
+    initial_prefix: int = 0,
+    batch_size: int = 1024,
+    max_batch_delay: float | None = None,
+    stream_type: StreamType = StreamType.INSERT_ONLY,
+    events_per_second: float | None = None,
+    parallel: ParallelConfig | None = None,
+    collect_embeddings: bool = False,
+    pipeline: str = "serial",
+    capacity: int = 4096,
+    clock: Clock | None = None,
+    query_name: str = "query",
+) -> BenchRun:
+    """Run the engine behind a :class:`~repro.streams.broker.StreamBroker`.
+
+    This is the service-shaped counterpart of :func:`run_mnemonic_stream`:
+    the streamed suffix arrives through a bounded broker (fed by a
+    producer thread, so ingest overlaps mutation and enumeration), with
+    optional rate control (``events_per_second`` on ``clock``) and
+    adaptive batching (``max_batch_delay``).  The returned
+    :class:`BenchRun` carries the ingest-to-result latency rollup next
+    to the throughput metrics, plus the broker's backpressure counters.
+    """
+    config = EngineConfig(
+        stream=StreamConfig(
+            stream_type=stream_type,
+            batch_size=batch_size,
+            max_batch_delay=max_batch_delay,
+        ),
+        parallel=parallel or ParallelConfig(),
+        collect_embeddings=collect_embeddings,
+        pipeline=pipeline,
+    )
+    engine = MnemonicEngine(query, match_def=match_def, config=config)
+    try:
+        prefix = stream[:initial_prefix]
+        suffix = list(stream[initial_prefix:])
+        if prefix:
+            engine.load_initial([e for e in prefix if e.kind is EventKind.INSERT])
+        clock = clock or WallClock()
+        source: StreamSource = ListSource(suffix)
+        if events_per_second is not None:
+            source = ReplaySource(suffix, events_per_second=events_per_second, clock=clock)
+        broker = StreamBroker(source=source, capacity=capacity, clock=clock)
+        start = time.perf_counter()
+        result = engine.run(broker)
+        elapsed = time.perf_counter() - start
+        return BenchRun(
+            system="Mnemonic-service",
+            query_name=query_name,
+            seconds=elapsed,
+            embeddings=result.total_positive,
+            negative_embeddings=result.total_negative,
+            extra={
+                "filter_traversals": result.total_filter_traversals,
+                "candidates_scanned": result.total_candidates_scanned,
+                "snapshots": len(result.snapshots),
+                "offered_load": events_per_second,
+                "max_batch_delay": max_batch_delay,
+                "broker": broker.stats(),
+                "snapshot_exports": engine.snapshot_exports,
+                "enumeration_phases": engine.enumeration_phases_with_units,
+                "pool_phases": engine.pool_enumeration_phases,
+            },
+            latency=result.latency_summary() or {},
             run_result=result,
         )
     finally:

@@ -10,12 +10,14 @@ through the user-supplied match definition.
 from repro.core.api import DefaultMatchDefinition, MatchDefinition
 from repro.core.debi import DEBI
 from repro.core.engine import EngineConfig, MnemonicEngine, RunResult, SnapshotResult
+from repro.core.parallel import ParallelConfig
 from repro.core.registry import MultiQueryEngine, MultiRunResult, QueryRegistry
 from repro.core.results import CollectingSink, Embedding, ResultSet
-from repro.core.parallel import ParallelConfig
+from repro.core.service import MnemonicService
 
 __all__ = [
     "MnemonicEngine",
+    "MnemonicService",
     "MultiQueryEngine",
     "MultiRunResult",
     "QueryRegistry",

@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING, Iterator
 
 from repro.graph.adjacency import DynamicGraph
 from repro.graph.edge import EdgeRecord
-from repro.query.query_graph import QueryEdge, QueryGraph, WILDCARD_LABEL
+from repro.query.query_graph import WILDCARD_LABEL, QueryEdge, QueryGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.enumeration import EnumerationContext, WorkUnit
@@ -131,15 +131,19 @@ class DefaultMatchDefinition(MatchDefinition):
 
 
 def __getattr__(name: str):
-    """Lazy facade for the multi-query service layer.
+    """Lazy facade for the multi-query and streaming service layers.
 
-    ``MultiQueryEngine`` and ``QueryRegistry`` are part of the public API
-    surface but live in :mod:`repro.core.registry`, which imports this
-    module; resolving them lazily keeps the import graph acyclic while
-    letting applications write ``from repro.core.api import MultiQueryEngine``.
+    ``MultiQueryEngine``, ``QueryRegistry`` and ``MnemonicService`` are
+    part of the public API surface but live in modules that import this
+    one; resolving them lazily keeps the import graph acyclic while
+    letting applications write ``from repro.core.api import MnemonicService``.
     """
     if name in ("MultiQueryEngine", "QueryRegistry"):
         from repro.core import registry
 
         return getattr(registry, name)
+    if name == "MnemonicService":
+        from repro.core.service import MnemonicService
+
+        return MnemonicService
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

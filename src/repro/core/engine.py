@@ -28,16 +28,18 @@ from repro.core.parallel import (
     PoolOwnerMixin,
     SharedMemoryPool,
 )
-from repro.core.pipeline import BatchPipeline, CompletedBatch
+from repro.core.pipeline import BatchPipeline, CompletedBatch, ingest_latency
 from repro.core.registry import QueryRuntime, build_query_runtime
 from repro.core.results import Embedding, ResultSet
 from repro.graph.adjacency import DynamicGraph
 from repro.graph.external import ExternalEdgeStore
 from repro.query.query_graph import QueryGraph
+from repro.streams.broker import producing
 from repro.streams.config import StreamConfig
 from repro.streams.events import EventKind, StreamEvent
 from repro.streams.generator import Snapshot, SnapshotGenerator
 from repro.streams.sources import ListSource, StreamSource
+from repro.utils.stats import latency_summary
 from repro.utils.timers import Timer
 from repro.utils.validation import ConfigurationError
 
@@ -87,6 +89,10 @@ class SnapshotResult:
     live_edges: int = 0
     edge_placeholders: int = 0
     debi_bits: int = 0
+    #: end-to-end latency (stream clock): first event arrival -> results
+    #: available.  None when the stream carried no arrival stamps (plain
+    #: list replays); only broker-fed runs and the service facade fill it.
+    ingest_latency_seconds: float | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -125,6 +131,22 @@ class RunResult:
     @property
     def total_candidates_scanned(self) -> int:
         return sum(s.candidates_scanned for s in self.snapshots)
+
+    def snapshot_latencies(self) -> list[float]:
+        """Per-snapshot ingest-to-result latencies, where known (stream order)."""
+        return [
+            s.ingest_latency_seconds
+            for s in self.snapshots
+            if s.ingest_latency_seconds is not None
+        ]
+
+    def latency_summary(self) -> dict[str, float] | None:
+        """count/mean/p50/p95/p99/max rollup of the snapshot latencies.
+
+        None when no snapshot carried latency data (plain list replays
+        have no arrival stamps to measure from).
+        """
+        return latency_summary(self.snapshot_latencies())
 
     def all_positive(self) -> list[Embedding]:
         return [e for s in self.snapshots for e in s.positive_embeddings]
@@ -293,12 +315,20 @@ class MnemonicEngine(PoolOwnerMixin):
         :class:`~repro.core.pipeline.BatchPipeline` overlaps batch k+1's
         mutation/DEBI/publish work with batch k's pool enumeration;
         results are identical to the serial mode either way.
+
+        A :class:`~repro.streams.broker.StreamBroker` source is driven
+        end to end: its pull-mode producer thread is started (so event
+        arrival overlaps mutation *and* enumeration), every snapshot is
+        stamped with ingest-to-result latency, and an abandoned run
+        stops the producer instead of leaving it blocked on
+        backpressure.
         """
         generator = self.initialize_stream(source)
-        result = RunResult()
-        for batch in self._pipeline.run_stream(generator):
-            result.add(self._result_from_batch(batch))
-        return result
+        with producing(source):
+            result = RunResult()
+            for batch in self._pipeline.run_stream(generator):
+                result.add(self._result_from_batch(batch))
+            return result
 
     def process_snapshot(self, snapshot: Snapshot) -> SnapshotResult:
         """Apply one snapshot: insert batch first, then delete batch (serially)."""
@@ -441,6 +471,7 @@ class MnemonicEngine(PoolOwnerMixin):
         footprint = self._footprints.pop(batch.number, None)
         if footprint is not None:
             result.live_edges, result.edge_placeholders, result.debi_bits = footprint
+        result.ingest_latency_seconds = ingest_latency(batch)
         return result
 
     def _on_spilled_access(self, edge_id: int) -> None:

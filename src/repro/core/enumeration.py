@@ -28,7 +28,7 @@ from repro.core.results import Embedding
 from repro.graph.adjacency import DynamicGraph
 from repro.query.masking import Mask, MaskTable
 from repro.query.matching_order import ExtensionStep, MatchingOrder
-from repro.query.query_graph import QueryGraph, WILDCARD_LABEL
+from repro.query.query_graph import WILDCARD_LABEL, QueryGraph
 from repro.query.query_tree import QueryTree
 
 

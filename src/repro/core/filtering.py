@@ -27,7 +27,7 @@ from repro.core.enumeration import degree_requirements_ok
 from repro.core.frontier import UnifiedFrontier
 from repro.graph.adjacency import DynamicGraph
 from repro.graph.edge import EdgeRecord
-from repro.query.query_graph import QueryGraph, WILDCARD_LABEL
+from repro.query.query_graph import WILDCARD_LABEL, QueryGraph
 from repro.query.query_tree import QueryTree, TreeEdge
 
 

@@ -172,6 +172,10 @@ class CompletedBatch:
     num_deletions: int
     insert_phase: PhaseOutcome | None = None
     delete_phase: PhaseOutcome | None = None
+    #: ingest stamp copied from the snapshot (broker-fed streams only)
+    first_arrival: float | None = None
+    #: stream-clock time at which the batch's results became available
+    completed_at: float | None = None
 
     def phases(self) -> Iterator[PhaseOutcome]:
         if self.insert_phase is not None:
@@ -182,6 +186,17 @@ class CompletedBatch:
     @property
     def complete(self) -> bool:
         return all(p.complete for p in self.phases())
+
+
+def ingest_latency(batch: CompletedBatch) -> float | None:
+    """End-to-end latency of one batch: first event arrival -> results available.
+
+    None unless the stream carried arrival stamps *and* the run had a
+    stream clock to stamp completion with (i.e. broker-fed runs).
+    """
+    if batch.completed_at is None or batch.first_arrival is None:
+        return None
+    return max(batch.completed_at - batch.first_arrival, 0.0)
 
 
 @dataclass
@@ -254,14 +269,22 @@ class BatchPipeline:
         return batch
 
     def run_stream(self, snapshots: Iterable["Snapshot"]) -> Iterator[CompletedBatch]:
-        """Process a stream of snapshots, yielding completed batches in order."""
+        """Process a stream of snapshots, yielding completed batches in order.
+
+        When the snapshot iterator exposes a ``clock`` (broker-fed
+        generators do), every yielded batch is stamped with the
+        stream-clock time its results became available, closing the
+        ingest-to-result latency loop opened by the snapshots' arrival
+        stamps.
+        """
+        clock = getattr(snapshots, "clock", None)
         if self.mode != "pipelined":
             for snapshot in snapshots:
                 batch = self.process_batch(
                     snapshot.number, snapshot.insertions, snapshot.deletions
                 )
                 self.host.pipeline_batch_applied(batch)
-                yield batch
+                yield self._stamp_completed(batch, snapshot, clock)
             return
         inflight: deque[CompletedBatch] = deque()
         for snapshot in snapshots:
@@ -269,6 +292,7 @@ class BatchPipeline:
                 number=snapshot.number,
                 num_insertions=len(snapshot.insertions),
                 num_deletions=len(snapshot.deletions),
+                first_arrival=snapshot.first_arrival,
             )
             if snapshot.insertions:
                 batch.insert_phase = self._run_insert_phase(
@@ -281,10 +305,21 @@ class BatchPipeline:
             self.host.pipeline_batch_applied(batch)
             inflight.append(batch)
             while inflight and inflight[0].complete:
-                yield inflight.popleft()
+                yield self._stamp_completed(inflight.popleft(), None, clock)
         self.flush()
         while inflight:
-            yield inflight.popleft()
+            yield self._stamp_completed(inflight.popleft(), None, clock)
+
+    @staticmethod
+    def _stamp_completed(
+        batch: CompletedBatch, snapshot: "Snapshot | None", clock
+    ) -> CompletedBatch:
+        """Copy the ingest stamp (serial path) and record the completion time."""
+        if snapshot is not None:
+            batch.first_arrival = snapshot.first_arrival
+        if clock is not None and batch.first_arrival is not None:
+            batch.completed_at = clock.now()
+        return batch
 
     def flush(self) -> None:
         """Drain every dispatched epoch (oldest first); phases become complete."""

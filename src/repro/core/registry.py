@@ -51,6 +51,7 @@ from repro.query.masking import MaskTable
 from repro.query.matching_order import MatchingOrder, build_matching_orders
 from repro.query.query_graph import QueryGraph
 from repro.query.query_tree import QueryTree
+from repro.streams.broker import producing
 from repro.streams.events import StreamEvent
 from repro.streams.generator import Snapshot, SnapshotGenerator
 from repro.streams.sources import ListSource, StreamSource
@@ -298,6 +299,9 @@ class MultiSnapshotResult:
     #: ``enumerate_seconds`` carry attributable busy time instead, so they
     #: do not sum to N times the wall on the pool backend
     enumerate_wall_seconds: float = 0.0
+    #: end-to-end latency (stream clock): first event arrival -> results
+    #: available for *all* queries (broker-fed streams only)
+    ingest_latency_seconds: float | None = None
     per_query: dict[int, "SnapshotResult"] = field(default_factory=dict)
 
     @property
@@ -326,6 +330,20 @@ class MultiRunResult:
     @property
     def total_candidates_scanned(self) -> int:
         return sum(s.candidates_scanned for s in self.snapshots)
+
+    def snapshot_latencies(self) -> list[float]:
+        """Per-snapshot ingest-to-result latencies, where known (stream order)."""
+        return [
+            s.ingest_latency_seconds
+            for s in self.snapshots
+            if s.ingest_latency_seconds is not None
+        ]
+
+    def latency_summary(self) -> dict[str, float] | None:
+        """count/mean/p50/p95/p99/max rollup over the snapshot latencies."""
+        from repro.utils.stats import latency_summary
+
+        return latency_summary(self.snapshot_latencies())
 
     @property
     def total_positive(self) -> int:
@@ -509,11 +527,20 @@ class MultiQueryEngine(PoolOwnerMixin):
         :class:`~repro.core.pipeline.BatchPipeline` overlaps batch k+1's
         mutation/DEBI/publish work with batch k's pool enumeration;
         per-query results are identical to the serial mode either way.
+
+        A :class:`~repro.streams.broker.StreamBroker` source is driven
+        end to end, exactly as in
+        :meth:`~repro.core.engine.MnemonicEngine.run`: its producer
+        thread is started so arrival overlaps processing, snapshots are
+        stamped with ingest-to-result latency, and an abandoned run
+        stops the producer.
         """
-        result = MultiRunResult()
-        for batch in self._pipeline.run_stream(self.initialize_stream(source)):
-            result.add(self._deliver(self._result_from_batch(batch)))
-        return result
+        generator = self.initialize_stream(source)
+        with producing(source):
+            result = MultiRunResult()
+            for batch in self._pipeline.run_stream(generator):
+                result.add(self._deliver(self._result_from_batch(batch)))
+            return result
 
     def process_snapshot(self, snapshot: Snapshot) -> MultiSnapshotResult:
         """Apply one snapshot for all queries: insert batch first, then delete batch."""
@@ -598,10 +625,13 @@ class MultiQueryEngine(PoolOwnerMixin):
         """Map a completed pipeline batch onto the multi-query result shape."""
         from repro.core.engine import SnapshotResult
 
+        from repro.core.pipeline import ingest_latency
+
         multi = MultiSnapshotResult(
             number=batch.number,
             num_insertions=batch.num_insertions,
             num_deletions=batch.num_deletions,
+            ingest_latency_seconds=ingest_latency(batch),
         )
         footprint = self._footprints.pop(batch.number, None)
         # Row membership is decided at *batch* time, not delivery time: in
@@ -617,6 +647,7 @@ class MultiQueryEngine(PoolOwnerMixin):
                 number=batch.number,
                 num_insertions=batch.num_insertions,
                 num_deletions=batch.num_deletions,
+                ingest_latency_seconds=multi.ingest_latency_seconds,
             )
         collect = self.config.collect_embeddings
         for phase in batch.phases():

@@ -1,0 +1,232 @@
+"""The service facade: push events in, pull matched embeddings out.
+
+:class:`~repro.core.engine.MnemonicEngine` and
+:class:`~repro.core.registry.MultiQueryEngine` are *stream runners*:
+they consume a whole source in one blocking ``run()`` call.  A live
+service is shaped differently — application threads hand events over as
+they happen and periodically collect whatever results became ready.
+:class:`MnemonicService` is that shape, built from the same parts the
+streaming path uses (so semantics can never diverge):
+
+* :meth:`submit` stamps events through a bounded
+  :class:`~repro.streams.broker.StreamBroker` (push mode), giving the
+  service backpressure and arrival times for free;
+* a :class:`~repro.streams.generator.SnapshotBatcher` applies the
+  engine's :class:`~repro.streams.StreamConfig` — including adaptive
+  ``max_batch_delay`` batching — to decide when a snapshot is sealed;
+* :meth:`poll` pumps arrived events through the batcher, processes any
+  sealed snapshots on the engine, and returns their results, each
+  stamped with ingest-to-result latency on the service's clock;
+* :meth:`drain` additionally flushes the open partial batch, so every
+  submitted event's outcome is accounted for.
+
+The facade is deliberately *caller-pumped* (no background consumer
+thread): results are produced on the thread that calls ``poll``/
+``drain``, which keeps engine access single-threaded — the engines are
+not thread-safe — and makes service behaviour deterministic under a
+:class:`~repro.streams.clock.VirtualClock` in tests.  ``import`` it
+from :mod:`repro.core.api` (the lazy facade) or :mod:`repro` directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Union
+
+from repro.streams.broker import POLL_TIMEOUT, StreamBroker
+from repro.streams.clock import Clock
+from repro.streams.config import StreamType
+from repro.streams.events import StreamEvent
+from repro.streams.generator import SnapshotBatcher
+from repro.utils.validation import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import MnemonicEngine, SnapshotResult
+    from repro.core.registry import MultiQueryEngine, MultiSnapshotResult
+
+    ServiceResult = Union[SnapshotResult, MultiSnapshotResult]
+
+
+class MnemonicService:
+    """submit()/poll()/drain() over a single- or multi-query engine.
+
+    Parameters
+    ----------
+    engine:
+        A constructed :class:`~repro.core.engine.MnemonicEngine` or
+        :class:`~repro.core.registry.MultiQueryEngine`.  Its
+        ``config.stream`` decides batching (``batch_size`` cap and
+        optional adaptive ``max_batch_delay``); sliding-window configs
+        are rejected — windows need a totally ordered replay, not a
+        live ingest path.  The service does not own the engine: closing
+        the service leaves the engine (and its worker pool) usable.
+    capacity:
+        Broker bound: :meth:`submit` blocks once this many events are
+        waiting unprocessed (backpressure instead of unbounded memory).
+    clock:
+        Arrival/latency time source; defaults to the wall clock, tests
+        pass a :class:`~repro.streams.clock.VirtualClock`.
+    """
+
+    def __init__(
+        self,
+        engine: "MnemonicEngine | MultiQueryEngine",
+        capacity: int = 8192,
+        clock: Clock | None = None,
+    ) -> None:
+        stream_config = engine.config.stream
+        if stream_config.stream_type is StreamType.SLIDING_WINDOW:
+            raise ConfigurationError(
+                "MnemonicService supports insert_only / insert_delete streams; "
+                "sliding-window replay should go through engine.run()"
+            )
+        self.engine = engine
+        self.broker = StreamBroker(capacity=capacity, clock=clock)
+        self.clock: Clock = self.broker.clock
+        self._batcher = SnapshotBatcher(stream_config, self._next_number)
+        self._number = 0
+        self._submitted = 0
+        #: events pumped out of the broker into the batcher so far
+        self._offered = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ ingest
+    def submit(
+        self,
+        events: StreamEvent | tuple | Iterable[StreamEvent | tuple],
+        timeout: float | None = None,
+    ) -> int:
+        """Enqueue one event or an iterable of them; returns how many were accepted.
+
+        Tuples are coerced to insertion events
+        (``(src, dst[, label, timestamp, src_label, dst_label])``).
+        Blocks (up to ``timeout`` clock-seconds per event) while the
+        broker is full — overload surfaces as backpressure here, not as
+        unbounded queueing.  Submission alone never processes anything;
+        call :meth:`poll` or :meth:`drain` to turn events into results.
+        """
+        if self._closed:
+            raise ConfigurationError("cannot submit to a closed MnemonicService")
+        if isinstance(events, StreamEvent):
+            events = [events]
+        elif isinstance(events, tuple) and not any(
+            isinstance(field, StreamEvent) for field in events
+        ):
+            # A bare field tuple is one insertion; a tuple *of events* is
+            # a sequence (coercing it would silently nest StreamEvents
+            # into the src/dst fields of a corrupt event).
+            events = [events]
+        accepted = 0
+        for event in events:
+            if not isinstance(event, StreamEvent):
+                event = StreamEvent.insert(*event)
+            self.broker.put(event, timeout=timeout)
+            accepted += 1
+        self._submitted += accepted
+        return accepted
+
+    # ------------------------------------------------------------------ results
+    def poll(self) -> "list[ServiceResult]":
+        """Process every sealed batch and return its results (possibly none).
+
+        Pumps all currently arrived events through the batcher; a batch
+        seals when it hits ``batch_size`` or (with ``max_batch_delay``)
+        when its first event has been pending longer than the delay —
+        including while the stream is idle, so latency stays bounded
+        under trickle load.  Events still inside an unsealed batch stay
+        pending; :meth:`drain` forces them through.
+        """
+        results: "list[ServiceResult]" = []
+        while True:
+            item = self.broker.poll(0.0)
+            if item is None or item is POLL_TIMEOUT:
+                break
+            event, arrival = item
+            self._offered += 1
+            for snapshot in self._batcher.offer(event, arrival):
+                results.append(self._process(snapshot))
+        if self._batcher.deadline_expired(self.clock.now()):
+            snapshot = self._batcher.flush(sealed_at=self.clock.now())
+            if snapshot is not None:
+                results.append(self._process(snapshot))
+        return results
+
+    def drain(self) -> "list[ServiceResult]":
+        """Like :meth:`poll`, but also flush the open partial batch.
+
+        After ``drain`` returns, every event submitted so far is
+        reflected in some returned (or previously returned) result —
+        except insert/delete pairs elided within one batch, which are
+        net no-ops the engine never sees.  The service stays usable for
+        further submissions.
+        """
+        results = self.poll()
+        snapshot = self._batcher.flush(sealed_at=self.clock.now())
+        if snapshot is not None:
+            results.append(self._process(snapshot))
+        return results
+
+    def _process(self, snapshot) -> "ServiceResult":
+        result = self.engine.process_snapshot(snapshot)
+        latency = None
+        if snapshot.first_arrival is not None:
+            latency = max(self.clock.now() - snapshot.first_arrival, 0.0)
+        result.ingest_latency_seconds = latency
+        per_query = getattr(result, "per_query", None)
+        if per_query is not None:  # multi-query: stamp each query's row too
+            for query_result in per_query.values():
+                query_result.ingest_latency_seconds = latency
+        return result
+
+    def _next_number(self) -> int:
+        number = self._number
+        self._number += 1
+        return number
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def pending(self) -> int:
+        """Events still awaiting processing: queued in the broker or in the open batch.
+
+        An insert/delete pair elided *inside* one batch (a net no-op the
+        engine never sees) counts as resolved the moment the delete
+        cancels the insert, not as forever-pending.
+        """
+        return (self._submitted - self._offered) + self._batcher.pending_events
+
+    @property
+    def watermark(self) -> float:
+        """Largest event timestamp submitted so far (-inf before the first)."""
+        return self.broker.watermark
+
+    def stats(self) -> dict[str, float]:
+        """Broker ingest counters plus batcher state, for dashboards."""
+        stats = self.broker.stats()
+        stats["open_batch_events"] = self._batcher.pending_events
+        stats["snapshots_processed"] = self._number
+        return stats
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> "list[ServiceResult]":
+        """Drain everything, then refuse further submissions.
+
+        Returns the final results.  The engine is left open — it belongs
+        to the caller (close it separately, or construct it in a ``with``
+        block that outlives the service).
+        """
+        if self._closed:
+            return []
+        results = self.drain()
+        self._closed = True
+        self.broker.close()
+        return results
+
+    def __enter__(self) -> "MnemonicService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            # Unwinding: drop the ingest queue without processing more.
+            self._closed = True
+            self.broker.stop()

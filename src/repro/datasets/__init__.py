@@ -9,9 +9,9 @@ and timestamp structure — at a laptop-friendly scale.  See DESIGN.md
 ("Faithfulness notes and deliberate substitutions") for the mapping.
 """
 
-from repro.datasets.netflow import NetFlowConfig, generate_netflow_stream
-from repro.datasets.lsbench import LSBenchConfig, generate_lsbench_stream
 from repro.datasets.lanl import LANLConfig, generate_lanl_stream
+from repro.datasets.lsbench import LSBenchConfig, generate_lsbench_stream
+from repro.datasets.netflow import NetFlowConfig, generate_netflow_stream
 from repro.datasets.queries import build_query_workload, graph_from_events
 
 __all__ = [

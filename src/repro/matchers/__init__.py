@@ -7,14 +7,14 @@ family, whose output is a binary relation rather than embeddings —
 functions that consume the engine's DEBI directly.
 """
 
-from repro.matchers.isomorphism import IsomorphismMatcher
 from repro.matchers.homomorphism import HomomorphismMatcher
-from repro.matchers.temporal import TemporalIsomorphismMatcher
+from repro.matchers.isomorphism import IsomorphismMatcher
 from repro.matchers.simulation import (
     dual_simulation,
     dual_simulation_from_debi,
     strong_simulation,
 )
+from repro.matchers.temporal import TemporalIsomorphismMatcher
 
 __all__ = [
     "IsomorphismMatcher",

@@ -22,7 +22,7 @@ from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.graph.adjacency import DynamicGraph
-from repro.query.query_graph import QueryGraph, WILDCARD_LABEL
+from repro.query.query_graph import WILDCARD_LABEL, QueryGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine import MnemonicEngine

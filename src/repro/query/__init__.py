@@ -11,11 +11,11 @@ For every possible starting query edge the engine needs a dedicated
 are computed once per query by this package and cached.
 """
 
-from repro.query.query_graph import QueryEdge, QueryGraph, WILDCARD_LABEL
-from repro.query.query_tree import QueryTree, TreeEdge
-from repro.query.matching_order import ExtensionStep, MatchingOrder, build_matching_orders
-from repro.query.masking import MaskTable
 from repro.query.generator import QueryGenerator, QueryWorkload
+from repro.query.masking import MaskTable
+from repro.query.matching_order import ExtensionStep, MatchingOrder, build_matching_orders
+from repro.query.query_graph import WILDCARD_LABEL, QueryEdge, QueryGraph
+from repro.query.query_tree import QueryTree, TreeEdge
 
 __all__ = [
     "QueryGraph",

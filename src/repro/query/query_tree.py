@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-from repro.query.query_graph import QueryEdge, QueryGraph, WILDCARD_LABEL
+from repro.query.query_graph import WILDCARD_LABEL, QueryEdge, QueryGraph
 from repro.utils.validation import QueryError
 
 

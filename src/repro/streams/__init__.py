@@ -5,7 +5,7 @@ Mnemonic consumes an edge *stream* and turns it into a sequence of
 plus the batch of insertions and deletions made since then
 (Algorithm 1, the ``getSnapshot`` loop).  The user controls the
 snapshotting behaviour through a :class:`repro.streams.StreamConfig`
-(stream type, batch size, window size, stride).
+(stream type, batch size, adaptive batch delay, window size, stride).
 
 Three stream types are supported, matching the paper's evaluation:
 
@@ -15,12 +15,33 @@ Three stream types are supported, matching the paper's evaluation:
 * ``sliding_window`` — e.g. LANL with a 24-hour window and a fixed
   stride; edges are dropped from the tail of the window automatically
   (Figures 10, 15, 17 and Table III).
+
+For live-service scenarios the module additionally provides the
+ingestion layer that decouples event arrival from processing: a bounded
+:class:`~repro.streams.broker.StreamBroker` with backpressure and
+arrival stamping, :class:`~repro.streams.clock.Clock` implementations
+(wall and deterministic virtual time), and rate-controlled / file /
+push sources in :mod:`repro.streams.sources`.
 """
 
+from repro.streams.broker import POLL_TIMEOUT, BrokerClosedError, StreamBroker
+from repro.streams.clock import Clock, VirtualClock, WallClock
 from repro.streams.config import StreamConfig, StreamType
-from repro.streams.events import StreamEvent, EventKind, decode_lsbench_triple, encode_lsbench_triple
-from repro.streams.generator import Snapshot, SnapshotGenerator
-from repro.streams.sources import IterableSource, ListSource, StreamSource
+from repro.streams.events import (
+    EventKind,
+    StreamEvent,
+    decode_lsbench_triple,
+    encode_lsbench_triple,
+)
+from repro.streams.generator import Snapshot, SnapshotBatcher, SnapshotGenerator
+from repro.streams.sources import (
+    CSVTraceSource,
+    IterableSource,
+    ListSource,
+    PushSource,
+    ReplaySource,
+    StreamSource,
+)
 
 __all__ = [
     "StreamConfig",
@@ -28,10 +49,20 @@ __all__ = [
     "StreamEvent",
     "EventKind",
     "Snapshot",
+    "SnapshotBatcher",
     "SnapshotGenerator",
     "StreamSource",
     "ListSource",
     "IterableSource",
+    "CSVTraceSource",
+    "PushSource",
+    "ReplaySource",
+    "StreamBroker",
+    "BrokerClosedError",
+    "POLL_TIMEOUT",
+    "Clock",
+    "WallClock",
+    "VirtualClock",
     "decode_lsbench_triple",
     "encode_lsbench_triple",
 ]

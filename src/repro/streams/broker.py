@@ -1,0 +1,271 @@
+"""The stream broker: a bounded ingest queue decoupling arrival from processing.
+
+The paper's harness iterates a pre-materialised event list, so "ingest"
+is free and instantaneous.  A service is different: events *arrive*
+(from a socket, a message bus, a replayed trace) while the engine is
+busy mutating the graph and enumerating, and the two sides must be
+decoupled without letting an unbounded backlog hide overload.
+
+:class:`StreamBroker` is that decoupling point:
+
+* a **bounded ring buffer** of ``(event, arrival)`` pairs — arrival is
+  stamped from the broker's :class:`~repro.streams.clock.Clock` at
+  enqueue time and is the anchor of end-to-end latency accounting;
+* **two ingest modes**: *pull* (a producer thread iterates a
+  :class:`~repro.streams.sources.StreamSource` — e.g. a rate-controlled
+  :class:`~repro.streams.sources.ReplaySource` — so arrival overlaps
+  the engine's mutation and enumeration work) and *push* (callers
+  :meth:`put` events directly; this is what the
+  :class:`~repro.core.service.MnemonicService` facade uses);
+* **backpressure**: a full buffer blocks the producer instead of
+  dropping or buffering without bound, so offered load beyond the
+  engine's capacity shows up as producer stall (counted in
+  :attr:`blocked_puts`), not as silent memory growth;
+* **watermark tracking**: the largest *event* timestamp enqueued so
+  far, for consumers that reason about event time rather than arrival
+  time.
+
+The broker is itself a :class:`~repro.streams.sources.StreamSource`
+(iterating it yields events until the stream is closed and drained), and
+additionally offers :meth:`poll` with a timeout — the primitive the
+adaptive batcher uses to flush a partial batch when no event arrives
+before its deadline.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.streams.clock import Clock, WallClock
+from repro.streams.events import StreamEvent
+from repro.streams.sources import StreamSource
+from repro.utils.validation import ReproError, check_positive
+
+
+class BrokerClosedError(ReproError):
+    """Raised when putting into a broker that has been closed or stopped."""
+
+
+class _Timeout:
+    """Sentinel type returned by :meth:`StreamBroker.poll` on timeout."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<broker poll timeout>"
+
+
+#: returned by :meth:`StreamBroker.poll` when the timeout elapsed with no event
+POLL_TIMEOUT = _Timeout()
+
+
+class StreamBroker:
+    """A bounded, clock-stamping ingest queue between a source and the engine.
+
+    Parameters
+    ----------
+    source:
+        Optional pull-mode source.  When given, :meth:`ensure_started`
+        (called by the engines' ``run``) spawns a daemon producer thread
+        that iterates it and :meth:`put`\\ s every event, blocking on
+        backpressure.  Without a source the broker runs in push mode.
+    capacity:
+        Ring-buffer bound; :meth:`put` blocks while the buffer is full.
+    clock:
+        Arrival-stamp time source (defaults to :class:`WallClock`).
+    """
+
+    def __init__(
+        self,
+        source: StreamSource | None = None,
+        capacity: int = 4096,
+        clock: Clock | None = None,
+    ) -> None:
+        check_positive(capacity, "capacity")
+        self.capacity = capacity
+        self.clock: Clock = clock or WallClock()
+        self._source = source
+        self._thread: threading.Thread | None = None
+        self._buffer: deque[tuple[StreamEvent, float]] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._aborted = False
+        #: largest event timestamp enqueued so far (event time, not arrival time)
+        self.watermark = float("-inf")
+        self.enqueued = 0
+        self.dequeued = 0
+        #: put() calls that had to wait for space at least once (backpressure)
+        self.blocked_puts = 0
+        self.max_depth = 0
+
+    # ------------------------------------------------------------------ producer side
+    def put(self, event: StreamEvent, timeout: float | None = None) -> float:
+        """Enqueue one event, blocking while the buffer is full; returns its arrival stamp.
+
+        ``timeout`` bounds the wait in clock-seconds; on expiry the event
+        is rejected with a ``TimeoutError`` so callers can surface
+        overload instead of blocking forever.  Under a
+        :class:`~repro.streams.clock.VirtualClock` a timed wait elapses
+        instantly without yielding to other threads (the determinism
+        contract), so a bounded-timeout put on a full buffer fails even
+        if a concurrent consumer would have freed a slot in time — use
+        the wall clock where real cross-thread timing matters.
+        """
+        with self._not_full:
+            if len(self._buffer) >= self.capacity and not self._closed:
+                self.blocked_puts += 1
+            deadline = None if timeout is None else self.clock.now() + timeout
+            while len(self._buffer) >= self.capacity and not self._closed:
+                remaining = None if deadline is None else deadline - self.clock.now()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"broker buffer full ({self.capacity} events) for {timeout} seconds"
+                    )
+                self.clock.wait(self._not_full, remaining)
+            if self._closed:
+                raise BrokerClosedError("cannot put into a closed broker")
+            arrival = self.clock.now()
+            self._buffer.append((event, arrival))
+            self.enqueued += 1
+            self.max_depth = max(self.max_depth, len(self._buffer))
+            if event.timestamp > self.watermark:
+                self.watermark = event.timestamp
+            self._not_empty.notify()
+            return arrival
+
+    def close(self) -> None:
+        """No further events will arrive; consumers drain what is buffered."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def stop(self, join_timeout: float | None = 1.0) -> None:
+        """Close *and* discard: wake a blocked producer, join its thread.
+
+        Buffered events are kept (a consumer may still drain them); the
+        producer's next :meth:`put` fails with :class:`BrokerClosedError`,
+        which the pull-mode thread treats as a normal shutdown.  The join
+        is bounded by ``join_timeout`` (real seconds): a producer mid
+        wall-clock sleep (e.g. a timestamp-faithful replay across a long
+        event gap) cannot be interrupted, so it is left to exit on its
+        next ``put`` — it is a daemon thread and holds no broker state.
+        """
+        with self._lock:
+            self._aborted = True
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(join_timeout)
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait (real time) for the pull-mode producer thread to finish.
+
+        Useful when a test wants every arrival stamped before consumption
+        starts; a no-op in push mode.
+        """
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout)
+
+    def ensure_started(self) -> bool:
+        """Spawn the pull-mode producer thread once; True when this call started it."""
+        with self._lock:
+            if self._source is None or self._thread is not None or self._closed:
+                return False
+            self._thread = threading.Thread(
+                target=self._produce, name="stream-broker-producer", daemon=True
+            )
+        self._thread.start()
+        return True
+
+    def _produce(self) -> None:
+        try:
+            for event in self._source:
+                self.put(event)
+        except BrokerClosedError:
+            pass  # stop() aborted a blocked put: normal shutdown
+        finally:
+            self.close()
+
+    # ------------------------------------------------------------------ consumer side
+    def poll(self, timeout: float | None = None):
+        """Next ``(event, arrival)`` pair, :data:`POLL_TIMEOUT`, or None.
+
+        * an event is available (or arrives in time) — ``(event, arrival)``;
+        * the stream is closed and fully drained — ``None``;
+        * ``timeout`` clock-seconds elapsed first — :data:`POLL_TIMEOUT`
+          (the adaptive batcher's cue to flush a partial batch).
+        """
+        with self._not_empty:
+            deadline = None if timeout is None else self.clock.now() + timeout
+            while not self._buffer:
+                if self._closed:
+                    return None
+                remaining = None if deadline is None else deadline - self.clock.now()
+                if remaining is not None and remaining <= 0:
+                    return POLL_TIMEOUT
+                self.clock.wait(self._not_empty, remaining)
+            item = self._buffer.popleft()
+            self.dequeued += 1
+            self._not_full.notify()
+            return item
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        """Drain events (without arrival stamps) until closed and empty."""
+        while True:
+            item = self.poll(None)
+            if item is None:
+                return
+            yield item[0]
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def depth(self) -> int:
+        """Events currently buffered (enqueued but not yet consumed)."""
+        with self._lock:
+            return len(self._buffer)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def stats(self) -> dict[str, float]:
+        """Ingest counters for benchmark tables and service dashboards."""
+        with self._lock:
+            return {
+                "enqueued": self.enqueued,
+                "dequeued": self.dequeued,
+                "depth": len(self._buffer),
+                "max_depth": self.max_depth,
+                "blocked_puts": self.blocked_puts,
+                "watermark": self.watermark,
+            }
+
+
+@contextmanager
+def producing(source):
+    """Drive a (possibly-broker) stream source for the duration of a run.
+
+    The engines' ``run()`` methods wrap their consumption loop in this:
+    a :class:`StreamBroker` source gets its pull-mode producer thread
+    started (so arrival overlaps processing) and — if this call started
+    it — stopped on the way out, which also unblocks a producer stuck on
+    backpressure when a run is abandoned mid-stream.  Non-broker sources
+    pass through untouched.
+    """
+    broker = source if isinstance(source, StreamBroker) else None
+    started = broker.ensure_started() if broker is not None else False
+    try:
+        yield source
+    finally:
+        if started:
+            broker.stop()

@@ -10,10 +10,10 @@ from repro.utils.bitset import BitMatrix, BitVector
 from repro.utils.rng import make_rng, spawn_rngs
 from repro.utils.timers import Timeline, Timer, WallTimer
 from repro.utils.validation import (
-    ReproError,
     ConfigurationError,
     GraphError,
     QueryError,
+    ReproError,
     check_non_negative,
     check_positive,
     check_type,

@@ -1,0 +1,56 @@
+"""Small, dependency-free summary statistics (latency rollups).
+
+The service layer reports per-snapshot ingest-to-result latencies;
+benchmark tables and ``RunResult.latency_summary()`` roll them up into
+the usual service percentiles.  Implemented in plain Python (linear
+interpolation between order statistics, the same definition as
+``numpy.percentile``'s default) so core result types never depend on
+numpy being importable in worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Raises :class:`ValueError` on an empty input — callers decide what an
+    absent distribution means; this module does not invent a zero.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of an empty sequence is undefined")
+    return _percentile_sorted(ordered, q)
+
+
+def _percentile_sorted(ordered: list[float], q: float) -> float:
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+def latency_summary(values: Iterable[float]) -> dict[str, float] | None:
+    """The standard service rollup: count/mean/p50/p95/p99/max.
+
+    Returns None for an empty input so "no latency data" (plain list
+    replays have no arrival stamps) stays distinct from "zero latency".
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return None
+    return {
+        "count": float(len(ordered)),
+        "mean": sum(ordered) / len(ordered),
+        "p50": _percentile_sorted(ordered, 50.0),
+        "p95": _percentile_sorted(ordered, 95.0),
+        "p99": _percentile_sorted(ordered, 99.0),
+        "max": ordered[-1],
+    }

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import pytest
 
 from repro.graph.adjacency import DynamicGraph
-from repro.query.query_graph import QueryGraph, WILDCARD_LABEL
+from repro.query.query_graph import WILDCARD_LABEL, QueryGraph
 from repro.streams.events import StreamEvent
 
 

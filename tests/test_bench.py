@@ -3,10 +3,12 @@
 import pytest
 
 from repro.bench.harness import (
+    BenchRun,
     run_bigjoin_inserts,
     run_ceci_per_snapshot,
     run_litcs_stream,
     run_mnemonic_stream,
+    run_service_stream,
     run_turboflux_stream,
 )
 from repro.bench.metrics import cpu_usage_timeline, mean_runtime, speedup_table, traversals_per_update
@@ -35,6 +37,32 @@ class TestHarnessRunners:
         assert run.extra["snapshots"] > 0
         assert run.run_result is not None
         assert run.throughput >= 0
+
+    def test_throughput_clamps_zero_duration(self):
+        # Regression: a timed section that rounded to <= 0 seconds used to
+        # report throughput 0.0 even though embeddings were found.
+        run = BenchRun(system="x", query_name="q", seconds=0.0, embeddings=5)
+        assert run.throughput > 0
+        run = BenchRun(system="x", query_name="q", seconds=-0.0, embeddings=3,
+                       negative_embeddings=2)
+        assert run.throughput > 0
+        # No embeddings still reports 0, and a real duration divides normally.
+        assert BenchRun("x", "q", seconds=0.0, embeddings=0).throughput == 0.0
+        assert BenchRun("x", "q", seconds=2.0, embeddings=4).throughput == 2.0
+
+    def test_service_runner(self, workload):
+        query, stream = workload
+        baseline = run_mnemonic_stream(query, stream, initial_prefix=600,
+                                       batch_size=64, collect_embeddings=True)
+        run = run_service_stream(query, stream, initial_prefix=600, batch_size=64,
+                                 collect_embeddings=True, query_name="T_3")
+        assert run.system == "Mnemonic-service"
+        assert run.embeddings == baseline.embeddings
+        assert run.extra["candidates_scanned"] == baseline.extra["candidates_scanned"]
+        assert run.latency  # broker-fed: every snapshot has an ingest latency
+        assert run.latency["count"] == run.extra["snapshots"]
+        assert run.latency["p50"] <= run.latency["p95"] <= run.latency["p99"]
+        assert run.extra["broker"]["enqueued"] == len(stream) - 600
 
     def test_turboflux_runner(self, workload):
         query, stream = workload

@@ -1,0 +1,276 @@
+"""Unit tests for the stream broker, clocks and the richer sources."""
+
+import threading
+
+import pytest
+
+from repro.streams.broker import POLL_TIMEOUT, BrokerClosedError, StreamBroker
+from repro.streams.clock import VirtualClock, WallClock
+from repro.streams.config import StreamConfig, StreamType
+from repro.streams.events import StreamEvent
+from repro.streams.generator import SnapshotGenerator
+from repro.streams.sources import CSVTraceSource, PushSource, ReplaySource
+from repro.utils.validation import ConfigurationError
+
+
+def _insert(i, ts=0.0):
+    return StreamEvent.insert(i, i + 1, timestamp=ts)
+
+
+class TestVirtualClock:
+    def test_sleep_advances_instantly(self):
+        clock = VirtualClock()
+        clock.sleep(2.5)
+        assert clock.now() == 2.5
+        clock.sleep(0.0)
+        assert clock.now() == 2.5
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_wall_clock_monotone(self):
+        clock = WallClock()
+        a = clock.now()
+        clock.sleep(0.0)
+        assert clock.now() >= a
+
+
+class TestBrokerPushMode:
+    def test_put_poll_roundtrip_with_arrival_stamps(self):
+        clock = VirtualClock()
+        broker = StreamBroker(capacity=4, clock=clock)
+        broker.put(_insert(1, ts=10.0))
+        clock.advance(1.0)
+        broker.put(_insert(2, ts=5.0))
+        event, arrival = broker.poll(0.0)
+        assert (event.src, arrival) == (1, 0.0)
+        event, arrival = broker.poll(0.0)
+        assert (event.src, arrival) == (2, 1.0)
+        # watermark follows event time, not arrival time
+        assert broker.watermark == 10.0
+
+    def test_poll_timeout_vs_closed(self):
+        broker = StreamBroker(capacity=4, clock=VirtualClock())
+        assert broker.poll(0.0) is POLL_TIMEOUT
+        assert broker.poll(1.5) is POLL_TIMEOUT
+        assert broker.clock.now() == 1.5  # the timed wait advanced virtual time
+        broker.close()
+        assert broker.poll(0.0) is None
+        assert broker.poll(None) is None
+
+    def test_close_drains_buffered_events(self):
+        broker = StreamBroker(capacity=4)
+        broker.put(_insert(1))
+        broker.close()
+        event, _ = broker.poll(None)
+        assert event.src == 1
+        assert broker.poll(None) is None
+        with pytest.raises(BrokerClosedError):
+            broker.put(_insert(2))
+
+    def test_iteration_yields_until_closed(self):
+        broker = StreamBroker(capacity=8)
+        for i in range(3):
+            broker.put(_insert(i))
+        broker.close()
+        assert [e.src for e in broker] == [0, 1, 2]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            StreamBroker(capacity=0)
+
+
+class TestBrokerBackpressure:
+    def test_full_buffer_blocks_producer_until_consumed(self):
+        broker = StreamBroker(capacity=2)
+        broker.put(_insert(0))
+        broker.put(_insert(1))
+        third_in = threading.Event()
+
+        def producer():
+            broker.put(_insert(2))  # must block until a slot frees up
+            third_in.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert not third_in.wait(0.05)
+        assert broker.blocked_puts == 1
+        event, _ = broker.poll(None)
+        assert event.src == 0
+        assert third_in.wait(2.0)
+        thread.join(2.0)
+        assert broker.depth == 2
+        assert broker.max_depth == 2
+
+    def test_put_timeout_raises_instead_of_blocking_forever(self):
+        broker = StreamBroker(capacity=1, clock=VirtualClock())
+        broker.put(_insert(0))
+        with pytest.raises(TimeoutError):
+            broker.put(_insert(1), timeout=0.5)
+
+    def test_stop_aborts_blocked_producer(self):
+        broker = StreamBroker(capacity=1)
+        broker.put(_insert(0))
+        failed = threading.Event()
+
+        def producer():
+            try:
+                broker.put(_insert(1))
+            except BrokerClosedError:
+                failed.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        broker.stop()
+        assert failed.wait(2.0)
+        thread.join(2.0)
+        # Buffered events survive a stop; consumers can still drain them.
+        event, _ = broker.poll(None)
+        assert event.src == 0
+        assert broker.poll(None) is None
+
+
+class TestBrokerPullMode:
+    def test_producer_thread_feeds_consumer(self):
+        events = [_insert(i, ts=float(i)) for i in range(100)]
+        broker = StreamBroker(source=iter(events), capacity=8)
+        assert broker.ensure_started()
+        assert not broker.ensure_started()  # idempotent
+        seen = [e.src for e in broker]
+        broker.stop()
+        assert seen == [e.src for e in events]
+        stats = broker.stats()
+        assert stats["enqueued"] == 100 and stats["dequeued"] == 100
+        assert stats["max_depth"] <= 8
+
+    def test_push_mode_has_no_producer(self):
+        broker = StreamBroker(capacity=4)
+        assert not broker.ensure_started()
+
+    def test_stop_mid_stream_unblocks_producer(self):
+        events = [_insert(i) for i in range(1000)]
+        broker = StreamBroker(source=iter(events), capacity=2)
+        broker.ensure_started()
+        broker.poll(None)
+        broker.stop()  # must join the (blocked) producer without hanging
+        assert broker.closed
+
+
+class TestReplaySource:
+    def test_uniform_rate_on_virtual_clock(self):
+        clock = VirtualClock()
+        source = ReplaySource([_insert(i) for i in range(5)],
+                              events_per_second=10.0, clock=clock)
+        due = []
+        for _ in source:
+            due.append(clock.now())
+        assert due == pytest.approx([0.0, 0.1, 0.2, 0.3, 0.4])
+
+    def test_timestamp_faithful_speed(self):
+        clock = VirtualClock(start=100.0)
+        events = [_insert(0, ts=0.0), _insert(1, ts=4.0), _insert(2, ts=6.0)]
+        source = ReplaySource(events, speed=2.0, clock=clock)
+        due = []
+        for _ in source:
+            due.append(clock.now())
+        assert due == pytest.approx([100.0, 102.0, 103.0])
+
+    def test_replayable(self):
+        clock = VirtualClock()
+        source = ReplaySource([_insert(i) for i in range(3)],
+                              events_per_second=100.0, clock=clock)
+        assert [e.src for e in source] == [0, 1, 2]
+        assert [e.src for e in source] == [0, 1, 2]
+        assert len(source) == 3
+
+    def test_exactly_one_pacing_mode(self):
+        with pytest.raises(ConfigurationError):
+            ReplaySource([], events_per_second=1.0, speed=1.0)
+        with pytest.raises(ConfigurationError):
+            ReplaySource([])
+
+    def test_through_broker_stamps_scheduled_arrivals(self):
+        clock = VirtualClock()
+        source = ReplaySource([_insert(i) for i in range(4)],
+                              events_per_second=2.0, clock=clock)
+        broker = StreamBroker(source=source, capacity=16, clock=clock)
+        broker.ensure_started()
+        arrivals = []
+        while (item := broker.poll(None)) is not None:
+            arrivals.append(item[1])
+        broker.stop()
+        assert arrivals == pytest.approx([0.0, 0.5, 1.0, 1.5])
+
+
+class TestCSVTraceSource:
+    def test_roundtrip_and_replay(self, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        events = [
+            StreamEvent.insert(1, 2, 3, 4.5, 6, 7),
+            StreamEvent.delete(1, 2, 3, 4.5, 6, 7),
+        ]
+        assert CSVTraceSource.write(path, events) == 2
+        source = CSVTraceSource(path)
+        assert list(source) == events
+        assert list(source) == events  # file re-opened: replayable
+
+    def test_header_after_leading_comments(self, tmp_path):
+        # Regression: the header was only skipped as the physical first
+        # row, so a comment above it made the file unreadable.
+        path = tmp_path / "trace.csv"
+        path.write_text("# my trace\n# generated 2026-07-27\n"
+                        "kind,src,dst,label,timestamp,src_label,dst_label\n"
+                        "insert,1,2,0,0.0,0,0\n")
+        events = list(CSVTraceSource(str(path)))
+        assert [(e.src, e.dst) for e in events] == [(1, 2)]
+
+    def test_short_rows_and_comments(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("# a comment\ninsert,1,2\nd,3,4,7\n+,5,6,0,2.5\n")
+        events = list(CSVTraceSource(str(path)))
+        assert [(e.kind.name, e.src, e.dst, e.label, e.timestamp) for e in events] == [
+            ("INSERT", 1, 2, 0, 0.0),
+            ("DELETE", 3, 4, 7, 0.0),
+            ("INSERT", 5, 6, 0, 2.5),
+        ]
+
+    def test_malformed_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("frobnicate,1,2\n")
+        with pytest.raises(ConfigurationError):
+            list(CSVTraceSource(str(path)))
+        path.write_text("insert,1\n")
+        with pytest.raises(ConfigurationError):
+            list(CSVTraceSource(str(path)))
+        path.write_text("insert,one,2\n")
+        with pytest.raises(ConfigurationError):
+            list(CSVTraceSource(str(path)))
+
+
+class TestPushSource:
+    def test_push_then_iterate(self):
+        source = PushSource()
+        for i in range(3):
+            source.push(_insert(i))
+        source.close()
+        assert [e.src for e in source] == [0, 1, 2]
+        assert list(source) == []  # drained, still terminates
+        with pytest.raises(ConfigurationError):
+            source.push(_insert(9))
+
+    def test_feeds_generator_across_threads(self):
+        source = PushSource()
+        config = StreamConfig(stream_type=StreamType.INSERT_ONLY, batch_size=2)
+        generator = SnapshotGenerator(source, config)
+
+        def producer():
+            for i in range(5):
+                source.push(_insert(i))
+            source.close()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        snapshots = generator.snapshots()
+        thread.join(2.0)
+        assert [s.insert_batch_size for s in snapshots] == [2, 2, 1]

@@ -14,7 +14,7 @@ from repro.datasets import (
     generate_netflow_stream,
     graph_from_events,
 )
-from repro.streams.events import EventKind, encode_lsbench_triple, decode_lsbench_triple
+from repro.streams.events import EventKind, decode_lsbench_triple, encode_lsbench_triple
 from repro.utils.validation import ConfigurationError
 
 

@@ -9,7 +9,7 @@ from repro.matchers import (
     IsomorphismMatcher,
     TemporalIsomorphismMatcher,
 )
-from repro.query.query_graph import QueryGraph, WILDCARD_LABEL
+from repro.query.query_graph import WILDCARD_LABEL, QueryGraph
 from repro.streams.events import StreamEvent
 from tests.conftest import brute_force_node_maps, graph_from_tuples
 

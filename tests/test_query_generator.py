@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datasets import generate_netflow_stream, NetFlowConfig, graph_from_events
+from repro.datasets import NetFlowConfig, generate_netflow_stream, graph_from_events
 from repro.query.generator import QueryGenerator, QueryWorkload
 from repro.query.query_graph import QueryGraph
 from repro.utils.validation import QueryError

@@ -4,7 +4,7 @@ import pytest
 
 from repro.query.masking import MaskTable
 from repro.query.matching_order import build_matching_order, build_matching_orders
-from repro.query.query_graph import QueryGraph, WILDCARD_LABEL
+from repro.query.query_graph import WILDCARD_LABEL, QueryGraph
 from repro.query.query_tree import QueryTree, select_root
 from repro.utils.validation import QueryError
 

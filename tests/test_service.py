@@ -1,0 +1,343 @@
+"""Tests for the streaming service layer: broker-fed engine runs, adaptive
+batching end to end, latency accounting, and the MnemonicService facade."""
+
+import pytest
+
+from repro.core.api import MnemonicService as LazyMnemonicService
+from repro.core.engine import EngineConfig, MnemonicEngine
+from repro.core.registry import MultiQueryEngine
+from repro.core.service import MnemonicService
+from repro.query.query_graph import QueryGraph
+from repro.streams.broker import StreamBroker
+from repro.streams.clock import VirtualClock
+from repro.streams.config import StreamConfig, StreamType
+from repro.streams.events import StreamEvent
+from repro.streams.generator import SnapshotGenerator
+from repro.streams.sources import ListSource, ReplaySource
+from repro.utils.stats import latency_summary, percentile
+from repro.utils.validation import ConfigurationError
+
+A, B, C = 1, 2, 3
+
+
+def path_query():
+    return QueryGraph.from_edges([(0, 1), (1, 2)], node_labels={0: A, 1: B, 2: C})
+
+
+def path_events(n=6, ts0=0.0):
+    """Disjoint A->B->C chains: every completed event pair is one new match."""
+    events = []
+    for i in range(n):
+        pair = i // 2
+        if i % 2 == 0:
+            events.append(StreamEvent.insert(100 + pair, 500 + pair, timestamp=ts0 + i,
+                                             src_label=A, dst_label=B))
+        else:
+            events.append(StreamEvent.insert(500 + pair, 900 + pair, timestamp=ts0 + i,
+                                             src_label=B, dst_label=C))
+    return events
+
+
+def _engine(batch_size=4, max_batch_delay=None, stream_type=StreamType.INSERT_ONLY):
+    return MnemonicEngine(
+        path_query(),
+        config=EngineConfig(
+            stream=StreamConfig(
+                stream_type=stream_type,
+                batch_size=batch_size,
+                max_batch_delay=max_batch_delay,
+            )
+        ),
+    )
+
+
+def _identities(run_result):
+    return {
+        e.identity()
+        for s in run_result.snapshots
+        for e in s.positive_embeddings + s.negative_embeddings
+    }
+
+
+class TestStatsHelpers:
+    def test_percentile_interpolates(self):
+        values = [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 0.0
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 95) == pytest.approx(3.8)
+        assert percentile(values, 100) == 4.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_percentile_validates(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_latency_summary(self):
+        summary = latency_summary([3.0, 1.0, 2.0])
+        assert summary["count"] == 3.0
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["p50"] == 2.0
+        assert summary["max"] == 3.0
+        assert latency_summary([]) is None
+
+
+class TestBrokerFedEngineRuns:
+    def test_broker_run_matches_list_run(self):
+        events = path_events(10)
+        with _engine() as engine:
+            expected = engine.run(list(events))
+        clock = VirtualClock()
+        broker = StreamBroker(
+            source=ReplaySource(events, events_per_second=50.0, clock=clock),
+            capacity=4, clock=clock,
+        )
+        with _engine() as engine:
+            actual = engine.run(broker)
+        assert _identities(actual) == _identities(expected)
+        assert actual.total_positive == expected.total_positive
+        assert [s.num_insertions for s in actual.snapshots] == [
+            s.num_insertions for s in expected.snapshots
+        ]
+        # every snapshot of a broker-fed run carries an ingest latency
+        assert len(actual.snapshot_latencies()) == len(actual.snapshots)
+        summary = actual.latency_summary()
+        assert summary is not None and summary["p50"] <= summary["p99"]
+        # the plain list run has no arrival stamps, hence no latency data
+        assert expected.latency_summary() is None
+
+    def test_adaptive_delay_flushes_small_batches(self):
+        # 6 events, one per virtual second, size cap 100, delay 2.5s:
+        # batches must flush on time, not wait for the cap.
+        events = path_events(6)
+        clock = VirtualClock()
+        broker = StreamBroker(
+            source=ReplaySource(events, events_per_second=1.0, clock=clock),
+            capacity=16, clock=clock,
+        )
+        # Replay fully before consuming: with every arrival stamped
+        # (0..5s, one per virtual second) the delay rule deterministically
+        # splits the stream at the >= 2.5s arrival gaps.
+        broker.ensure_started()
+        broker.join(5.0)
+        with _engine(batch_size=100, max_batch_delay=2.5) as engine:
+            result = engine.run(broker)
+        assert [s.num_insertions for s in result.snapshots] == [3, 3]
+        assert result.total_positive == 3
+        # Latency includes the queue wait (the whole replay here), so the
+        # stream's 5s arrival span is the deterministic bound, not the delay.
+        for latency in result.snapshot_latencies():
+            assert 0.0 <= latency <= 5.0 + 1e-9
+
+    def test_multi_query_broker_run(self):
+        events = path_events(8)
+        clock = VirtualClock()
+        broker = StreamBroker(
+            source=ReplaySource(events, events_per_second=20.0, clock=clock),
+            capacity=8, clock=clock,
+        )
+        config = EngineConfig(stream=StreamConfig(batch_size=3))
+        with MultiQueryEngine(config=config) as engine:
+            qid = engine.register(path_query())
+            result = engine.run(broker)
+        with _engine(batch_size=3) as engine:
+            expected = engine.run(list(events))
+        assert _identities(result.per_query[qid]) == _identities(expected)
+        assert result.latency_summary() is not None
+        per_query_latencies = result.per_query[qid].snapshot_latencies()
+        assert len(per_query_latencies) == len(result.snapshots)
+
+
+class TestAdaptiveBatchingPlainSources:
+    def test_bare_replay_source_reports_no_latency(self):
+        # Regression: a ReplaySource fed straight to engine.run() (no
+        # broker) also carries a `clock` attribute for pacing; using it
+        # for completion stamps against event-time arrival stamps
+        # fabricated nonsense latencies.  Only broker-fed runs measure.
+        source = ReplaySource(path_events(4), events_per_second=1000.0,
+                              clock=VirtualClock())
+        generator_clock = SnapshotGenerator(source, StreamConfig(batch_size=2)).clock
+        assert generator_clock is None
+        with _engine(batch_size=2) as engine:
+            result = engine.run(source)
+        assert result.total_positive == 2
+        assert result.latency_summary() is None
+
+
+    def test_event_time_drives_delay_without_a_broker(self):
+        # Plain list: arrival time falls back to the events' timestamps.
+        events = [
+            StreamEvent.insert(1, 2, timestamp=0.0),
+            StreamEvent.insert(2, 3, timestamp=0.2),
+            StreamEvent.insert(3, 4, timestamp=5.0),   # > 1s after batch open
+            StreamEvent.insert(4, 5, timestamp=5.5),
+        ]
+        config = StreamConfig(batch_size=100, max_batch_delay=1.0)
+        snapshots = SnapshotGenerator(ListSource(events), config).snapshots()
+        assert [len(s.insertions) for s in snapshots] == [2, 2]
+        assert snapshots[0].first_arrival == 0.0
+        assert snapshots[1].first_arrival == 5.0
+
+    def test_delay_none_is_bit_identical_to_fixed_batching(self):
+        events = [StreamEvent.insert(i, i + 1, timestamp=float(i)) for i in range(10)]
+        fixed = SnapshotGenerator(ListSource(events), StreamConfig(batch_size=4)).snapshots()
+        assert [len(s.insertions) for s in fixed] == [4, 4, 2]
+        assert [s.watermark for s in fixed] == [3.0, 7.0, 9.0]
+
+
+class TestMnemonicService:
+    def test_lazy_api_export(self):
+        assert LazyMnemonicService is MnemonicService
+
+    def test_submit_poll_drain_roundtrip(self):
+        clock = VirtualClock()
+        with _engine(batch_size=2) as engine:
+            service = MnemonicService(engine, clock=clock)
+            events = path_events(5)
+            assert service.submit(events[:4]) == 4
+            results = service.poll()  # two full batches of 2
+            assert [r.number for r in results] == [0, 1]
+            assert sum(r.num_positive for r in results) == 2
+            assert service.pending == 0
+            service.submit(events[4])
+            assert service.poll() == []  # open batch below the size cap
+            assert service.pending == 1
+            final = service.drain()
+            assert len(final) == 1 and service.pending == 0
+            assert service.stats()["snapshots_processed"] == 3
+
+    def test_adaptive_delay_flush_while_idle(self):
+        clock = VirtualClock()
+        with _engine(batch_size=100, max_batch_delay=1.0) as engine:
+            service = MnemonicService(engine, clock=clock)
+            service.submit(path_events(2))
+            assert service.poll() == []  # deadline not reached yet
+            clock.advance(1.0)
+            results = service.poll()  # idle flush: no new events needed
+            assert len(results) == 1
+            assert results[0].ingest_latency_seconds == pytest.approx(1.0)
+
+    def test_tuple_coercion_and_latency_stamps(self):
+        clock = VirtualClock()
+        with _engine(batch_size=2) as engine:
+            service = MnemonicService(engine, clock=clock)
+            service.submit([(10, 11, 0, 0.0, A, B), (11, 12, 0, 0.0, B, C)])
+            results = service.poll()
+            assert len(results) == 1
+            assert results[0].num_positive == 1
+            assert results[0].ingest_latency_seconds == 0.0
+
+    def test_multi_query_engine_results_are_stamped_per_query(self):
+        clock = VirtualClock()
+        config = EngineConfig(stream=StreamConfig(batch_size=2))
+        with MultiQueryEngine(config=config) as engine:
+            qid = engine.register(path_query())
+            service = MnemonicService(engine, clock=clock)
+            service.submit(path_events(2))
+            clock.advance(0.25)
+            results = service.drain()
+            assert len(results) == 1
+            multi = results[0]
+            assert multi.ingest_latency_seconds == pytest.approx(0.25)
+            assert multi.per_query[qid].ingest_latency_seconds == pytest.approx(0.25)
+            assert multi.per_query[qid].num_positive == 1
+
+    def test_cancelled_batch_resets_deadline_and_pending(self):
+        # Regression: an insert/delete pair elided inside the open batch
+        # used to leave the batch's arrival stamp behind — a dead
+        # deadline that hot-spun broker polls, sealed an empty snapshot
+        # on the next event (with a bogus latency), and left
+        # service.pending overcounting forever.
+        clock = VirtualClock()
+        with _engine(batch_size=100, max_batch_delay=1.0,
+                     stream_type=StreamType.INSERT_DELETE) as engine:
+            service = MnemonicService(engine, clock=clock)
+            service.submit(StreamEvent.insert(1, 2, timestamp=0.0))
+            service.submit(StreamEvent.delete(1, 2, timestamp=0.0))
+            assert service.poll() == []  # the pair annihilated in-batch
+            assert service.pending == 0
+            clock.advance(5.0)
+            assert service.poll() == []  # no empty snapshot from a dead deadline
+            # a fresh event past the old deadline opens a NEW batch
+            service.submit(StreamEvent.insert(3, 4, timestamp=0.0))
+            clock.advance(1.0)
+            results = service.poll()
+            assert len(results) == 1
+            assert results[0].num_insertions == 1
+            assert results[0].ingest_latency_seconds == pytest.approx(1.0)
+
+    def test_cancelled_batch_clears_broker_poll_deadline(self):
+        from repro.streams.generator import SnapshotBatcher
+
+        config = StreamConfig(stream_type=StreamType.INSERT_DELETE,
+                              batch_size=100, max_batch_delay=1.0)
+        batcher = SnapshotBatcher(config, lambda: 0)
+        assert batcher.offer(StreamEvent.insert(1, 2), arrival=0.0) == []
+        assert batcher.poll_timeout(0.5) == pytest.approx(0.5)
+        assert batcher.offer(StreamEvent.delete(1, 2), arrival=0.5) == []
+        # batch is empty again: no deadline, no pending flush
+        assert batcher.poll_timeout(10.0) is None
+        assert batcher.flush() is None
+        # and the next event opens a batch with its OWN arrival stamp
+        assert batcher.offer(StreamEvent.insert(3, 4), arrival=7.0) == []
+        assert batcher.deadline() == pytest.approx(8.0)
+
+    def test_submit_rejects_nothing_but_handles_event_tuples(self):
+        # Regression: a bare tuple OF StreamEvents was treated as one
+        # coercible field-tuple, nesting events into a corrupt event.
+        clock = VirtualClock()
+        with _engine(batch_size=2) as engine:
+            service = MnemonicService(engine, clock=clock)
+            events = tuple(path_events(2))
+            assert service.submit(events) == 2
+            results = service.poll()
+            assert len(results) == 1 and results[0].num_positive == 1
+
+    def test_insert_delete_service(self):
+        clock = VirtualClock()
+        with _engine(batch_size=10, stream_type=StreamType.INSERT_DELETE) as engine:
+            service = MnemonicService(engine, clock=clock)
+            events = path_events(4)
+            service.submit(events)
+            service.submit(StreamEvent.delete(events[0].src, events[0].dst,
+                                              timestamp=events[0].timestamp))
+            results = service.drain()
+            # insert of events[0] was cancelled in-batch by the delete
+            assert sum(r.num_insertions for r in results) == 3
+            assert sum(r.num_positive for r in results) == 1
+
+    def test_sliding_window_rejected(self):
+        config = EngineConfig(stream=StreamConfig(
+            stream_type=StreamType.SLIDING_WINDOW, window=10.0, stride=5.0
+        ))
+        with MnemonicEngine(path_query(), config=config) as engine:
+            with pytest.raises(ConfigurationError):
+                MnemonicService(engine)
+
+    def test_close_refuses_further_submissions(self):
+        with _engine(batch_size=2) as engine:
+            service = MnemonicService(engine, clock=VirtualClock())
+            service.submit(path_events(2))
+            final = service.close()
+            assert len(final) == 1
+            assert service.close() == []  # idempotent
+            with pytest.raises(ConfigurationError):
+                service.submit(path_events(2))
+
+    def test_context_manager_drains_on_exit(self):
+        clock = VirtualClock()
+        with _engine(batch_size=100) as engine:
+            with MnemonicService(engine, clock=clock) as service:
+                service.submit(path_events(2))
+            assert service.pending == 0  # exit drained the partial batch
+            assert engine.graph.num_edges == 2
+
+    def test_exceptional_exit_stops_ingest_without_processing(self):
+        clock = VirtualClock()
+        with _engine(batch_size=100) as engine:
+            with pytest.raises(RuntimeError):
+                with MnemonicService(engine, clock=clock) as service:
+                    service.submit(path_events(2))
+                    raise RuntimeError("application bug")
+            assert engine.graph.num_edges == 0  # nothing was force-processed

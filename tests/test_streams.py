@@ -69,11 +69,24 @@ class TestSources:
         assert len(source) == 1
         assert list(source) == list(source)
 
-    def test_iterable_source_single_use(self):
+    def test_iterable_source_replays_generator(self):
+        # Regression: a generator-backed source used to yield nothing on a
+        # second pass (the generator was exhausted), so a re-run silently
+        # processed an empty stream.  The first pass now materialises it.
+        def trace():
+            yield StreamEvent.insert(1, 2)
+            yield StreamEvent.insert(2, 3)
+
+        source = IterableSource(trace())
+        first = list(source)
+        assert len(first) == 2
+        assert list(source) == first
+        assert len(source) == 2
+
+    def test_iterable_source_len_before_iteration(self):
         source = IterableSource(iter([StreamEvent.insert(1, 2)]))
-        assert len(list(source)) == 1
-        with pytest.raises(RuntimeError):
-            iter(source)
+        with pytest.raises(TypeError):
+            len(source)
 
 
 class TestInsertOnlySnapshots:
@@ -179,3 +192,139 @@ class TestSlidingWindowSnapshots:
             timestamps = [t for (s, d) in live for t in [s]]  # src == timestamp index here
             if timestamps:
                 assert max(timestamps) - min(timestamps) <= 8
+
+    # ------------------------------------------------------------------ edge cases
+    def test_stride_larger_than_window_rejected(self):
+        # A stride beyond the window would skip time spans entirely: edges
+        # inserted and expired inside the gap would never be reported.
+        with pytest.raises(ConfigurationError):
+            StreamConfig(stream_type=StreamType.SLIDING_WINDOW, window=5.0, stride=5.1)
+        # The boundary case stride == window is a tumbling window: legal.
+        config = StreamConfig(stream_type=StreamType.SLIDING_WINDOW, window=5.0, stride=5.0)
+        assert config.stride == config.window
+
+    def test_out_of_order_rejection_is_strict_not_equal(self):
+        # Equal timestamps are fine (non-decreasing); only regressions fail.
+        ok = [StreamEvent.insert(1, 2, timestamp=3.0),
+              StreamEvent.insert(2, 3, timestamp=3.0)]
+        snapshots = SnapshotGenerator(ListSource(ok), self._config()).snapshots()
+        assert sum(s.insert_batch_size for s in snapshots) == 2
+        bad = ok + [StreamEvent.insert(3, 4, timestamp=2.999)]
+        with pytest.raises(ConfigurationError) as excinfo:
+            SnapshotGenerator(ListSource(bad), self._config()).snapshots()
+        assert "non-decreasing" in str(excinfo.value)
+
+    def test_empty_strides_between_sparse_events_still_advance_window(self):
+        # Events at t=0 and t=26 with stride 5: the quiet strides in
+        # between must still produce snapshots (their expiry deletions
+        # keep the engine's live set honest), numbered contiguously.
+        events = [StreamEvent.insert(1, 2, timestamp=0.0),
+                  StreamEvent.insert(3, 4, timestamp=26.0)]
+        snapshots = SnapshotGenerator(ListSource(events), self._config()).snapshots()
+        # Strides end at 5, 10, 15, 20, 25 and the trailing flush at 30.
+        assert [s.number for s in snapshots] == [0, 1, 2, 3, 4, 5]
+        assert [s.watermark for s in snapshots] == [5.0, 10.0, 15.0, 20.0, 25.0, 30.0]
+        assert [s.insert_batch_size for s in snapshots] == [1, 0, 0, 0, 0, 1]
+        # The t=0 edge (window 10, inclusive low edge) expires in the
+        # stride ending at 10, i.e. as soon as timestamp <= upper - window.
+        expiry_by_snapshot = [[(e.src, e.dst) for e in s.deletions] for s in snapshots]
+        assert expiry_by_snapshot == [[], [(1, 2)], [], [], [], []]
+
+    def test_trailing_partial_stride_is_flushed(self):
+        # Events that never reach the next stride boundary must still be
+        # emitted by a final partial-stride snapshot, with expiries for
+        # anything their window position pushes out.
+        events = [StreamEvent.insert(1, 2, timestamp=0.0),
+                  StreamEvent.insert(2, 3, timestamp=6.0),
+                  StreamEvent.insert(3, 4, timestamp=7.0)]
+        snapshots = SnapshotGenerator(ListSource(events), self._config()).snapshots()
+        assert len(snapshots) == 2
+        trailing = snapshots[1]
+        assert [(e.src, e.dst) for e in trailing.insertions] == [(2, 3), (3, 4)]
+        assert trailing.watermark == 10.0  # the partial stride's nominal end
+        # The t=0 edge sits exactly on the (inclusive) low edge at
+        # upper=10: the trailing flush also reports its expiry.
+        assert [(e.src, e.dst) for e in trailing.deletions] == [(1, 2)]
+
+    def test_trailing_event_older_than_its_own_window_expires_immediately(self):
+        # An insert whose timestamp has already slid out by the stride it
+        # lands in is reported and immediately expired in that snapshot.
+        events = [StreamEvent.insert(1, 2, timestamp=0.0),
+                  StreamEvent.insert(2, 3, timestamp=14.0),
+                  StreamEvent.insert(3, 4, timestamp=14.5)]
+        snapshots = SnapshotGenerator(
+            ListSource(events), self._config(window=2.0, stride=2.0)
+        ).snapshots()
+        flat_deletes = [(e.src, e.dst) for s in snapshots for e in s.deletions]
+        assert (1, 2) in flat_deletes
+        last = snapshots[-1]
+        assert [(e.src, e.dst) for e in last.insertions] == [(2, 3), (3, 4)]
+        # upper = 16, low = 14: the t=14 insert is already out of window.
+        assert [(e.src, e.dst) for e in last.deletions] == [(2, 3)]
+
+    def test_single_event_stream_flushes_one_snapshot(self):
+        events = [StreamEvent.insert(1, 2, timestamp=3.0)]
+        snapshots = SnapshotGenerator(ListSource(events), self._config()).snapshots()
+        assert len(snapshots) == 1
+        assert snapshots[0].insert_batch_size == 1
+        assert snapshots[0].watermark == 8.0  # first stride ends at ts + stride
+
+
+class TestAdaptiveBatching:
+    def _config(self, batch_size=4, max_batch_delay=None, stream_type=StreamType.INSERT_ONLY):
+        return StreamConfig(stream_type=stream_type, batch_size=batch_size,
+                            max_batch_delay=max_batch_delay)
+
+    def test_max_batch_delay_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamConfig(max_batch_delay=0.0)
+        with pytest.raises(ConfigurationError):
+            StreamConfig(stream_type=StreamType.SLIDING_WINDOW, window=5.0,
+                         stride=1.0, max_batch_delay=1.0)
+        assert StreamConfig(max_batch_delay=0.5).max_batch_delay == 0.5
+
+    def test_max_batch_size_alias(self):
+        assert StreamConfig(batch_size=7).max_batch_size == 7
+
+    def test_delay_splits_batches_on_event_time_gaps(self):
+        events = [StreamEvent.insert(i, i + 1, timestamp=ts)
+                  for i, ts in enumerate([0.0, 0.1, 0.2, 3.0, 3.1, 9.0])]
+        snapshots = SnapshotGenerator(
+            ListSource(events), self._config(batch_size=100, max_batch_delay=1.0)
+        ).snapshots()
+        assert [s.insert_batch_size for s in snapshots] == [3, 2, 1]
+        assert [s.first_arrival for s in snapshots] == [0.0, 3.0, 9.0]
+        assert [s.number for s in snapshots] == [0, 1, 2]
+
+    def test_size_cap_still_applies_with_delay(self):
+        events = [StreamEvent.insert(i, i + 1, timestamp=0.0) for i in range(5)]
+        snapshots = SnapshotGenerator(
+            ListSource(events), self._config(batch_size=2, max_batch_delay=100.0)
+        ).snapshots()
+        assert [s.insert_batch_size for s in snapshots] == [2, 2, 1]
+
+    def test_insert_delete_cancellation_respects_adaptive_boundaries(self):
+        # The delete arrives 2s after the batch opened: the batch seals
+        # first, so the insert is NOT cancelled — both survive as a real
+        # insert + a real delete, exactly like a size-driven split.
+        events = [
+            StreamEvent.insert(1, 2, timestamp=0.0),
+            StreamEvent.delete(1, 2, timestamp=2.0),
+        ]
+        snapshots = SnapshotGenerator(
+            ListSource(events),
+            self._config(batch_size=100, max_batch_delay=1.0,
+                         stream_type=StreamType.INSERT_DELETE),
+        ).snapshots()
+        assert len(snapshots) == 2
+        assert snapshots[0].insert_batch_size == 1
+        assert snapshots[1].delete_batch_size == 1
+
+    def test_delay_none_keeps_arrival_stamps_but_fixed_boundaries(self):
+        events = [StreamEvent.insert(i, i + 1, timestamp=float(i)) for i in range(5)]
+        snapshots = SnapshotGenerator(
+            ListSource(events), self._config(batch_size=2)
+        ).snapshots()
+        assert [s.insert_batch_size for s in snapshots] == [2, 2, 1]
+        assert [s.first_arrival for s in snapshots] == [0.0, 2.0, 4.0]
+        assert [s.sealed_at for s in snapshots] == [1.0, 3.0, 4.0]
