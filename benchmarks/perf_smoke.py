@@ -32,6 +32,12 @@ serial engine, in both serial and pipelined modes; broker-fed runs must
 additionally leave ``candidates_scanned`` untouched and every run must
 report an ingest-to-result latency rollup.
 
+The ``durability_parity`` gate protects the durable-state stack: a
+journaled, checkpointed, DEBI-spilling engine killed mid-stream and
+recovered with ``MnemonicEngine.open`` must reproduce the uninterrupted
+run's positive and negative identity multisets exactly, with real rows
+on the cold tier; spill and journal counters ride along in the metrics.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py                    # gate vs baseline
@@ -349,6 +355,126 @@ def run_service_parity(stream) -> tuple[dict, list[str]]:
     return metrics, failures
 
 
+def run_durability_parity(stream) -> tuple[dict, list[str]]:
+    """The durable-state gate: kill-and-recover mid-stream vs straight-through.
+
+    A durable engine (journal + checkpoints + spilled DEBI) processes
+    half the mixed insert+delete stream, is abandoned without a clean
+    shutdown (``close()`` never seals or checkpoints), recovered with
+    ``MnemonicEngine.open`` and fed the rest.  The union of pre-crash and
+    post-recovery results must equal the uninterrupted durable run
+    bit-for-bit, the hot-row budget must actually force rows onto the
+    cold tier, and the journal must scan clean.  Spill/journal counters
+    are uploaded with the metrics row.
+
+    Not baseline-gated (like service_parity): the gate asserts the
+    invariants directly every run.
+    """
+    import tempfile
+    from collections import Counter
+
+    from repro.core.engine import MnemonicEngine
+    from repro.storage.config import StorageConfig
+    from repro.streams.config import StreamConfig
+    from repro.streams.generator import SnapshotGenerator
+    from repro.streams.sources import ListSource
+
+    workload = build_query_workload(
+        stream, tree_sizes=(3, 6), graph_sizes=(),
+        queries_per_suite=1, prefix=2000, seed=11,
+    )
+    prefix = len(stream) - FIG06_SUFFIX
+    mixed = build_parity_mixed_stream(stream, prefix)
+    stream_config = StreamConfig(
+        stream_type=StreamType.INSERT_DELETE, batch_size=FIG06_BATCH
+    )
+
+    def identities(results):
+        counts: Counter = Counter()
+        for result in results:
+            counts.update(e.identity() for e in result.positive_embeddings)
+            counts.update(e.identity() for e in result.negative_embeddings)
+        return counts
+
+    failures: list[str] = []
+    metrics: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="mnemonic-durability-") as tmp:
+        for suite, query in workload:
+            from repro.core.engine import EngineConfig
+
+            def make_config(directory):
+                return EngineConfig(
+                    stream=stream_config, collect_embeddings=True,
+                    storage=StorageConfig(
+                        directory=directory, checkpoint_interval=4,
+                        debi_hot_rows=256, debi_segment_rows=512,
+                    ),
+                )
+
+            initial = [e for e in mixed[:prefix] if e.kind is EventKind.INSERT]
+            snapshots = list(
+                SnapshotGenerator(ListSource(list(mixed[prefix:])), stream_config)
+            )
+            crash_at = len(snapshots) // 2
+            label = f"durability_parity/{suite}"
+
+            # Uninterrupted durable run.
+            import time
+
+            straight_dir = os.path.join(tmp, f"{suite}-straight")
+            engine = MnemonicEngine(query, config=make_config(straight_dir))
+            engine.load_initial(list(initial))
+            start = time.perf_counter()
+            straight = [engine.process_snapshot(s) for s in snapshots]
+            straight_seconds = time.perf_counter() - start
+            straight_counters = engine.storage_counters()
+            engine.close()
+
+            # Kill mid-stream, recover, refeed.
+            crash_dir = os.path.join(tmp, f"{suite}-crash")
+            engine = MnemonicEngine(query, config=make_config(crash_dir))
+            engine.load_initial(list(initial))
+            pre = [engine.process_snapshot(s) for s in snapshots[:crash_at]]
+            engine.close()  # no seal, no checkpoint: a crash, not a shutdown
+
+            recovered = MnemonicEngine.open(crash_dir)
+            info = recovered.recovery_info
+            if info["corruption"] is not None:
+                failures.append(f"{label}: clean journal reported corruption "
+                                f"({info['corruption']})")
+            last = info["last_sealed_number"]
+            resume = 0 if last is None else last + 1
+            if resume != crash_at:
+                failures.append(
+                    f"{label}: recovery points at epoch {resume}, crashed at {crash_at}"
+                )
+            post = [recovered.process_snapshot(s) for s in snapshots[crash_at:]]
+            counters = recovered.storage_counters()
+            recovered.close()
+
+            if identities(pre + post) != identities(straight):
+                failures.append(
+                    f"{label}: recovered results differ from the uninterrupted run"
+                )
+            if counters.get("spilled_rows", 0) <= 0:
+                failures.append(f"{label}: hot-row budget never forced a spill")
+            if straight_counters.get("checkpoints_written", 0) < 2:
+                failures.append(f"{label}: straight run cut "
+                                f"{straight_counters.get('checkpoints_written', 0)} "
+                                "checkpoints; the cadence gate needs >= 2")
+            metrics[suite] = {
+                "seconds": straight_seconds,
+                "candidates_scanned": sum(s.candidates_scanned for s in straight),
+                "crash_epoch": crash_at,
+                "replayed_records": info["replayed_records"],
+                "spilled_rows": counters.get("spilled_rows", 0),
+                "debi_disk_bytes": counters.get("debi_disk_bytes", 0),
+                "journal_bytes": counters.get("journal_bytes", 0),
+                "checkpoints_written": counters.get("checkpoints_written", 0),
+            }
+    return metrics, failures
+
+
 def run_multi_query(stream) -> tuple[dict, list[str]]:
     """The multi-query sharing gate: 8 standing queries vs 8 engines.
 
@@ -477,14 +603,17 @@ def main(argv: list[str] | None = None) -> int:
     multi_metrics, sharing_failures = run_multi_query(stream)
     parity_metrics, parity_failures = run_pipeline_parity(stream)
     service_metrics, service_failures = run_service_parity(stream)
+    durability_metrics, durability_failures = run_durability_parity(stream)
     sharing_failures.extend(parity_failures)
     sharing_failures.extend(service_failures)
+    sharing_failures.extend(durability_failures)
     current = {
         "fig06": run_fig06(stream, workload),
         "fig08": run_fig08(stream, workload),
         "multi_query": multi_metrics,
         "pipeline_parity": parity_metrics,
         "service_parity": service_metrics,
+        "durability_parity": durability_metrics,
     }
 
     with open(OUTPUT_PATH, "w", encoding="utf-8") as fh:
@@ -498,8 +627,8 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     if sharing_failures:
-        print("multi-query sharing / pipeline / service parity gate FAILED:",
-              file=sys.stderr)
+        print("multi-query sharing / pipeline / service / durability parity "
+              "gate FAILED:", file=sys.stderr)
         for line in sharing_failures:
             print(f"  {line}", file=sys.stderr)
         return 1

@@ -1,97 +1,99 @@
 """Table III: storage / runtime trade-off of the disk-backed DEBI.
 
-For queries that need a search window larger than what should stay
-resident, Mnemonic spills older edges and their DEBI rows to an on-disk
-transactional edge log, keeping only an in-memory window of recent
-events.  The paper reports, per query suite, the memory and disk
-footprint plus the overhead (a few percent) added to index maintenance
-and enumeration.  The reproduction runs the LANL-like stream with a
-3-"day" search window while keeping only the most recent events in
-memory, and reports the same columns.
+The paper reports, per query suite, the memory and disk footprint of
+keeping DEBI partially on disk, plus the (single-digit percent) overhead
+added to index maintenance and enumeration.  The reproduction runs each
+suite twice over the LANL-like stream:
+
+* fully in memory (the baseline the rest of the benchmarks use), and
+* durably, with a deliberately small DEBI hot-row budget so the bulk of
+  the index lives in mmap'd cold segments, the epoch journal grows on
+  disk, and checkpoints are cut mid-stream.
+
+The two runs must find the *identical* embedding multiset — spilling is
+an implementation detail of the index, never a semantics knob — and the
+durable run must report real, nonzero disk bytes and spilled rows.
 """
 
 from __future__ import annotations
+
+from collections import Counter
 
 import pytest
 
 from benchmarks.conftest import write_result
 from repro.bench.harness import run_mnemonic_stream
 from repro.bench.reporting import format_table
+from repro.storage.config import StorageConfig
 from repro.streams.config import StreamType
 
-WINDOW = 3 * 24 * 60.0     # three synthetic days: effectively the whole stream
-STRIDE = 6 * 60.0
-IN_MEMORY_EVENTS = 1200    # roughly "one day" of the scaled stream
+BATCH = 256
+#: small enough that every suite pushes most DEBI rows onto the cold tier
+HOT_ROWS = 512
+SEGMENT_ROWS = 1024
 
 
-def _run(stream, workload):
-    rows = []
-    for suite, query in workload:
-        run = run_mnemonic_stream(
-            query, stream, initial_prefix=0, batch_size=100_000,
-            stream_type=StreamType.SLIDING_WINDOW, window=WINDOW, stride=STRIDE,
-            in_memory_window=IN_MEMORY_EVENTS, query_name=suite,
-        )
-        # Recover the engine-side stats through the run result's last snapshot
-        # and the stored totals in `extra`.
-        result = run.run_result
-        filter_seconds = sum(s.filter_seconds for s in result.snapshots)
-        enumerate_seconds = sum(s.enumerate_seconds for s in result.snapshots)
-        rows.append([suite, run.seconds, run.embeddings,
-                     run.extra["live_edges"], filter_seconds, enumerate_seconds])
-    return rows
-
-
-def _store_columns(engine_stats):
-    return engine_stats
+def _identities(run):
+    counts: Counter = Counter()
+    for snapshot in run.run_result.snapshots:
+        counts.update(e.identity() for e in snapshot.positive_embeddings)
+        counts.update(e.identity() for e in snapshot.negative_embeddings)
+    return counts
 
 
 @pytest.mark.benchmark(group="table3")
-def test_table3_disk_debi(benchmark, lanl_workload):
+def test_table3_disk_debi(benchmark, lanl_workload, tmp_path):
     stream, workload = lanl_workload
-    # Run one representative suite inside the benchmark timer and the full
-    # table outside of it (the table construction itself is the artifact).
-    from repro.core.engine import EngineConfig, MnemonicEngine
-    from repro.streams.config import StreamConfig
-
     rows = []
-    spilled_any = False
     for suite, query in workload:
-        config = EngineConfig(
-            stream=StreamConfig(stream_type=StreamType.SLIDING_WINDOW, window=WINDOW,
-                                stride=STRIDE, in_memory_window=IN_MEMORY_EVENTS),
-            collect_embeddings=False,
+        memory_run = run_mnemonic_stream(
+            query, stream, batch_size=BATCH, stream_type=StreamType.INSERT_ONLY,
+            collect_embeddings=True, query_name=suite,
         )
-        engine = MnemonicEngine(query, config=config)
+        storage = StorageConfig(
+            directory=tmp_path / suite, checkpoint_interval=4,
+            debi_hot_rows=HOT_ROWS, debi_segment_rows=SEGMENT_ROWS,
+        )
 
-        def run_engine(engine=engine):
-            return engine.run(stream)
+        def run_durable(query=query, suite=suite, storage=storage):
+            return run_mnemonic_stream(
+                query, stream, batch_size=BATCH, stream_type=StreamType.INSERT_ONLY,
+                collect_embeddings=True, storage=storage, query_name=suite,
+            )
 
         if suite == workload.suite_names()[0]:
-            result = benchmark.pedantic(run_engine, rounds=1, iterations=1)
+            durable_run = benchmark.pedantic(run_durable, rounds=1, iterations=1)
         else:
-            result = run_engine()
-        store = engine.external_store
-        assert store is not None
-        spilled_any = spilled_any or store.spilled_count > 0
-        filter_seconds = sum(s.filter_seconds for s in result.snapshots)
-        enumerate_seconds = sum(s.enumerate_seconds for s in result.snapshots)
-        memory_mib = (engine.debi.nbytes() + store.memory_bytes()) / (1024 * 1024)
-        disk_mib = store.stats.disk_bytes / (1024 * 1024)
-        debi_overhead = store.stats.spill_seconds / filter_seconds * 100 if filter_seconds else 0.0
-        enum_overhead = (store.stats.fetch_seconds / enumerate_seconds * 100
-                         if enumerate_seconds else 0.0)
-        rows.append([suite, memory_mib, disk_mib, debi_overhead, enum_overhead,
-                     store.spilled_count, result.total_positive])
+            durable_run = run_durable()
+
+        # Bit-identity: the cold tier and the journal must be invisible
+        # to enumeration.
+        assert _identities(durable_run) == _identities(memory_run), suite
+
+        extra = durable_run.extra
+        spilled_rows = extra["spilled_rows"]
+        memory_mib = extra["debi_hot_bytes"] / (1024 * 1024)
+        disk_mib = (extra["debi_disk_bytes"] + extra["journal_bytes"]) / (1024 * 1024)
+        overhead_pct = (
+            (durable_run.seconds - memory_run.seconds) / memory_run.seconds * 100
+            if memory_run.seconds > 0 else 0.0
+        )
+        rows.append([
+            suite, memory_mib, disk_mib, overhead_pct, spilled_rows,
+            extra["checkpoints_written"], durable_run.embeddings,
+        ])
+        assert spilled_rows > 0, f"{suite}: hot-row budget did not force spilling"
+        assert extra["debi_disk_bytes"] > 0 and extra["journal_bytes"] > 0, suite
+        assert extra["checkpoints_written"] > 1, suite
 
     table = format_table(
         "Table III - storage/runtime trade-off for the disk-backed DEBI",
-        ["suite", "memory_MiB", "disk_MiB", "debi_mgmt_overhead_%", "enumeration_overhead_%",
-         "spilled_edges", "positives"],
+        ["suite", "memory_MiB", "disk_MiB", "durable_overhead_%",
+         "spilled_rows", "checkpoints", "positives"],
         rows,
     )
     write_result("table3_disk_debi", table)
-    assert spilled_any, "the in-memory window should force spilling on this workload"
-    # Overheads stay moderate (the paper reports 3-10%; allow head-room at this scale).
+    # Durability cost stays moderate at this scale (the paper reports
+    # 3-10% on the server-scale runs; allow slack for tiny Python runs).
     for row in rows:
-        assert row[3] < 100.0
+        assert row[3] < 500.0, f"{row[0]}: durable run {row[3]:.0f}% slower"

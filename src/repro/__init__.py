@@ -43,6 +43,8 @@ from repro.core.results import CollectingSink, Embedding, ResultSet
 from repro.core.service import MnemonicService
 from repro.graph.adjacency import DynamicGraph
 from repro.query.query_graph import WILDCARD_LABEL, QueryGraph
+from repro.storage.config import StorageConfig
+from repro.storage.runtime import StorageError
 from repro.streams.broker import StreamBroker
 from repro.streams.clock import VirtualClock, WallClock
 from repro.streams.config import StreamConfig, StreamType
@@ -73,6 +75,8 @@ __all__ = [
     "StreamConfig",
     "StreamType",
     "StreamEvent",
+    "StorageConfig",
+    "StorageError",
     "ReplaySource",
     "VirtualClock",
     "WallClock",

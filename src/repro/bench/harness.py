@@ -23,6 +23,7 @@ from repro.core.parallel import ParallelConfig
 from repro.core.registry import MultiQueryEngine, MultiRunResult
 from repro.datasets.queries import graph_from_events
 from repro.query.query_graph import QueryGraph
+from repro.storage.config import StorageConfig
 from repro.streams.broker import StreamBroker
 from repro.streams.clock import Clock, WallClock
 from repro.streams.config import StreamConfig, StreamType
@@ -82,6 +83,7 @@ def run_mnemonic_stream(
     collect_embeddings: bool = False,
     recycle_edge_ids: bool = True,
     pipeline: str = "serial",
+    storage: "StorageConfig | None" = None,
     query_name: str = "query",
 ) -> BenchRun:
     """Run the Mnemonic engine over ``stream`` and time the streaming part.
@@ -90,7 +92,10 @@ def run_mnemonic_stream(
     clock starts, mirroring the paper's setup where the remainder of the
     trace forms the initial graph snapshot.  ``pipeline="pipelined"``
     overlaps batch k+1's mutation/publish work with batch k's pool
-    enumeration (results are bit-identical to serial).
+    enumeration (results are bit-identical to serial).  Passing a
+    ``storage`` config runs the engine durably (journal + checkpoints +
+    optional DEBI cold tier) and folds the storage counters into
+    ``extra`` so tables can report disk footprint next to throughput.
     """
     config = EngineConfig(
         stream=StreamConfig(
@@ -104,6 +109,7 @@ def run_mnemonic_stream(
         collect_embeddings=collect_embeddings,
         recycle_edge_ids=recycle_edge_ids,
         pipeline=pipeline,
+        storage=storage,
     )
     # Engine construction spawns the persistent worker pool (process
     # backend), so pool start-up is part of setup — not of the measured
@@ -117,23 +123,26 @@ def run_mnemonic_stream(
         start = time.perf_counter()
         result = engine.run(list(suffix))
         elapsed = time.perf_counter() - start
+        extra = {
+            "filter_traversals": result.total_filter_traversals,
+            "candidates_scanned": result.total_candidates_scanned,
+            "snapshots": len(result.snapshots),
+            "placeholders": engine.graph.num_placeholders,
+            "live_edges": engine.graph.num_edges,
+            "debi_bits": engine.debi.total_bits_set(),
+            "snapshot_exports": engine.snapshot_exports,
+            "enumeration_phases": engine.enumeration_phases_with_units,
+            "pool_phases": engine.pool_enumeration_phases,
+        }
+        if storage is not None:
+            extra.update(engine.storage_counters())
         return BenchRun(
             system="Mnemonic",
             query_name=query_name,
             seconds=elapsed,
             embeddings=result.total_positive,
             negative_embeddings=result.total_negative,
-            extra={
-                "filter_traversals": result.total_filter_traversals,
-                "candidates_scanned": result.total_candidates_scanned,
-                "snapshots": len(result.snapshots),
-                "placeholders": engine.graph.num_placeholders,
-                "live_edges": engine.graph.num_edges,
-                "debi_bits": engine.debi.total_bits_set(),
-                "snapshot_exports": engine.snapshot_exports,
-                "enumeration_phases": engine.enumeration_phases_with_units,
-                "pool_phases": engine.pool_enumeration_phases,
-            },
+            extra=extra,
             latency=result.latency_summary() or {},
             run_result=result,
         )

@@ -120,6 +120,55 @@ class DEBI:
         debi._roots = BitVector.from_words(roots, nbits=root_bits)
         return debi
 
+    # ------------------------------------------------------------------ durability
+    def enable_spill(self, directory, hot_rows: int, segment_rows: int = 4096):
+        """Swap the row matrix for a tiered hot/cold store rooted at ``directory``.
+
+        The replacement happens in place (``self._bits`` is reassigned),
+        so every holder of this DEBI — ``IndexManager``, enumeration
+        contexts, the snapshot writer — keeps working through the same
+        BitMatrix interface.  Existing content is carried over.
+        """
+        from repro.storage.spill import TieredBitMatrix
+
+        tiered = TieredBitMatrix(
+            width=self._bits.width, directory=directory,
+            hot_rows=hot_rows, segment_rows=segment_rows,
+        )
+        rows, num_rows = self._bits.export_words()
+        if num_rows:
+            tiered.load_words(rows, num_rows)
+        self._bits = tiered
+        return tiered
+
+    def restore_buffers(self, rows, num_rows: int, width: int, roots, root_bits: int) -> None:
+        """Overwrite the index content from checkpointed word buffers, in place.
+
+        The inverse of :meth:`export_buffers` for recovery: unlike
+        :meth:`attach_buffers` this mutates the existing matrix/vector so
+        references held by the index manager stay valid and writable.
+        """
+        if width != self._bits.width:
+            raise ValueError(
+                f"checkpointed DEBI width {width} != live width {self._bits.width}"
+            )
+        self._bits.load_words(rows, num_rows)
+        self._roots.load_words(roots, root_bits)
+
+    def spill_stats(self) -> dict | None:
+        """Cold-tier counters, or None when the index is fully in memory."""
+        from repro.storage.spill import TieredBitMatrix
+
+        if not isinstance(self._bits, TieredBitMatrix):
+            return None
+        return {
+            "spilled_rows": self._bits.spilled_rows,
+            "debi_disk_bytes": self._bits.disk_bytes,
+            "debi_hot_bytes": self._bits.nbytes(),
+            "cold_reads": self._bits.cold_reads,
+            "cold_writes": self._bits.cold_writes,
+        }
+
     # ------------------------------------------------------------------ bulk
     def reset(self) -> None:
         """Periodic reset: drop every bit (the paper's index rebuild point)."""

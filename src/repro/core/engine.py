@@ -34,6 +34,8 @@ from repro.core.results import Embedding, ResultSet
 from repro.graph.adjacency import DynamicGraph
 from repro.graph.external import ExternalEdgeStore
 from repro.query.query_graph import QueryGraph
+from repro.storage.config import StorageConfig
+from repro.storage.runtime import EngineStorage, RecoveredState, StorageError
 from repro.streams.broker import producing
 from repro.streams.config import StreamConfig
 from repro.streams.events import EventKind, StreamEvent
@@ -61,6 +63,8 @@ class EngineConfig:
     recycle_edge_ids: bool = True
     #: keep embeddings in the per-snapshot results (disable to only count)
     collect_embeddings: bool = True
+    #: durable state: journal + checkpoints + spillable DEBI (None = volatile)
+    storage: StorageConfig | None = None
 
 
 @dataclass
@@ -183,17 +187,30 @@ class MnemonicEngine(PoolOwnerMixin):
         config: EngineConfig | None = None,
         graph: DynamicGraph | None = None,
         root: int | None = None,
+        _recovered: RecoveredState | None = None,
     ) -> None:
         self.config = config or EngineConfig()
+        if (
+            self.config.storage is not None
+            and self.config.stream.in_memory_window is not None
+        ):
+            raise ConfigurationError(
+                "config.storage and stream.in_memory_window are mutually "
+                "exclusive: the spillable DEBI replaces the legacy external "
+                "edge store (set storage.debi_hot_rows instead)"
+            )
         self.graph = graph or DynamicGraph(recycle_edge_ids=self.config.recycle_edge_ids)
 
         # --- InitializeIndex: preprocessing / hyper-parameter selection.
         # The per-query half (tree, orders, masks, DEBI, index manager) is the
         # same bundle the multi-query registry builds per standing query; a
-        # pre-populated graph is indexed inside the builder.
+        # pre-populated graph is indexed inside the builder.  On the recovery
+        # path (``open``) the index rebuild is skipped: DEBI content is about
+        # to be restored verbatim from the checkpoint buffers.
         self.runtime = build_query_runtime(
             query, match_def, self.graph,
             use_degree_filter=self.config.use_degree_filter, root=root,
+            rebuild_index=_recovered is None,
         )
         self.query = query
         self.match_def = self.runtime.match_def
@@ -212,6 +229,23 @@ class MnemonicEngine(PoolOwnerMixin):
             self.external_store = ExternalEdgeStore(
                 in_memory_window=self.config.stream.in_memory_window
             )
+
+        # --- durable state (journal + checkpoints + spillable DEBI).
+        # The DEBI swap happens before the pool spawns so every later
+        # buffer export reads through the tiered matrix.
+        self._storage: EngineStorage | None = None
+        self.recovery_info: dict | None = None
+        if self.config.storage is not None:
+            if _recovered is not None:
+                self._storage = _recovered.storage
+            else:
+                self._storage = EngineStorage.create(self.config.storage, kind="single")
+            if self.config.storage.debi_hot_rows is not None:
+                self.debi.enable_spill(
+                    self._storage.debi_directory(0),
+                    hot_rows=self.config.storage.debi_hot_rows,
+                    segment_rows=self.config.storage.debi_segment_rows,
+                )
 
         self.timer = Timer()
         self._snapshot_counter = 0
@@ -239,6 +273,116 @@ class MnemonicEngine(PoolOwnerMixin):
             self, mode=self.config.pipeline, fallback="fork"
         )
 
+        # A fresh durable engine writes "checkpoint 0" immediately: recovery
+        # then always has a base image carrying the query definition, even
+        # before the first periodic checkpoint.
+        if self._storage is not None and _recovered is None:
+            self._storage.checkpoint_now(self._checkpoint_state)
+
+    # ------------------------------------------------------------------ recovery
+    @classmethod
+    def open(cls, directory, config: EngineConfig | None = None) -> "MnemonicEngine":
+        """Recover a durable engine from ``directory``.
+
+        Loads the newest usable checkpoint, replays the journal tail up to
+        the last sealed epoch (mutations only — no results are re-emitted),
+        truncates any corrupt tail and reopens the journal for appends.
+        ``engine.recovery_info`` reports what happened; clients refeed the
+        stream from ``recovery_info["last_sealed_number"] + 1``.
+        """
+        from dataclasses import replace
+
+        config = config or EngineConfig()
+        storage_cfg = config.storage or StorageConfig(directory=directory)
+        config = replace(config, storage=replace(storage_cfg, directory=directory))
+        assert config.storage is not None
+        recovered = EngineStorage.open_existing(config.storage, kind="single")
+        # open_existing may fold persisted cold-tier geometry into the config.
+        config = replace(config, storage=recovered.storage.config)
+        state = recovered.checkpoint_state
+        engine = cls(
+            state["query"], match_def=state["match_def"], config=config,
+            graph=state["graph"], root=state["root"], _recovered=recovered,
+        )
+        engine.debi.restore_buffers(**state["debi"])
+        engine._snapshot_counter = state["snapshot_counter"]
+        engine._replay_journal(recovered)
+        recovered.storage.finish_recovery(recovered.info["journal_valid_bytes"])
+        # Re-checkpoint the recovered state: the next restart replays from
+        # here instead of walking the whole journal tail again.
+        recovered.storage.checkpoint_now(engine._checkpoint_state)
+        engine.recovery_info = recovered.info
+        return engine
+
+    def _replay_journal(self, recovered: RecoveredState) -> None:
+        from repro.storage.journal import RecordKind
+        from repro.storage.recovery import (
+            events_from_tuples,
+            replay_epoch,
+            replay_insertions,
+        )
+
+        slots = {0: self.runtime}
+        for record in recovered.records:
+            if record.kind is RecordKind.INITIAL:
+                replay_insertions(
+                    self.graph, slots, events_from_tuples(record.data())
+                )
+            elif record.kind is RecordKind.EPOCH:
+                inserts, deletes = record.data()
+                replay_epoch(
+                    self.graph, slots,
+                    events_from_tuples(inserts), events_from_tuples(deletes),
+                )
+            else:
+                raise StorageError(
+                    f"unexpected {record.kind.name} record in a single-query journal"
+                )
+
+    def _checkpoint_state(self) -> dict:
+        """Snapshot everything ``open`` needs (graph, query, DEBI buffers)."""
+        import numpy as np
+
+        buffers = self.debi.export_buffers()
+        return {
+            "kind": "single",
+            "query": self.query,
+            "match_def": self.match_def,
+            "root": self.tree.root,
+            "graph": self.graph,
+            "debi": {
+                "rows": np.array(buffers["rows"], copy=True),
+                "num_rows": buffers["num_rows"],
+                "width": buffers["width"],
+                "roots": np.array(buffers["roots"], copy=True),
+                "root_bits": buffers["root_bits"],
+            },
+            "snapshot_counter": self._snapshot_counter,
+        }
+
+    def checkpoint(self) -> None:
+        """Force a checkpoint now (outside a run, or between serial batches)."""
+        if self._storage is None:
+            raise ConfigurationError("engine has no storage attached")
+        self._pipeline.flush()
+        if not self._storage.quiescent():
+            raise ConfigurationError(
+                "checkpoint requires a quiescent engine (every applied batch "
+                "delivered); mid-run checkpoints are taken automatically at "
+                "sealed epoch boundaries"
+            )
+        self._storage.checkpoint_now(self._checkpoint_state)
+
+    def storage_counters(self) -> dict:
+        """Journal/checkpoint/spill counters (empty without storage)."""
+        if self._storage is None:
+            return {}
+        counters = self._storage.counters()
+        spill = self.debi.spill_stats()
+        if spill is not None:
+            counters.update(spill)
+        return counters
+
     # ------------------------------------------------------------------ lifecycle
     def close(self) -> None:
         """Release engine resources (the parallel worker pool, if any).
@@ -258,6 +402,9 @@ class MnemonicEngine(PoolOwnerMixin):
             # join them before the segments are unlinked.
             pipeline.flush()
         self._harvest_and_close_pool()
+        storage = getattr(self, "_storage", None)
+        if storage is not None:
+            storage.close()
 
     def _harvest_and_close_pool(self) -> None:
         """Close the pool, folding its epoch count into the lifetime total."""
@@ -292,11 +439,11 @@ class MnemonicEngine(PoolOwnerMixin):
         the trace as the initial snapshot; this is the corresponding API.
         Returns the number of edges loaded.
         """
-        new_ids: list[int] = []
-        for event in events:
-            event = self._coerce_insert(event)
-            new_ids.append(self._insert_event(event))
+        coerced = [self._coerce_insert(event) for event in events]
+        new_ids: list[int] = [self._insert_event(event) for event in coerced]
         self.index_manager.handle_insertions(new_ids)
+        if self._storage is not None:
+            self._storage.note_initial(coerced)
         return len(new_ids)
 
     @staticmethod
@@ -344,6 +491,8 @@ class MnemonicEngine(PoolOwnerMixin):
         events = [self._coerce_insert(e) for e in events]
         batch = self._pipeline.process_batch(self._snapshot_counter, events, [])
         self._snapshot_counter += 1
+        if self._storage is not None:
+            self._storage.note_applied()
         return self._result_from_batch(batch)
 
     def batch_deletes(self, events: Iterable[StreamEvent | tuple]) -> SnapshotResult:
@@ -353,6 +502,8 @@ class MnemonicEngine(PoolOwnerMixin):
         ]
         batch = self._pipeline.process_batch(self._snapshot_counter, [], coerced)
         self._snapshot_counter += 1
+        if self._storage is not None:
+            self._storage.note_applied()
         return self._result_from_batch(batch)
 
     def _insert_event(self, event: StreamEvent) -> int:
@@ -440,6 +591,8 @@ class MnemonicEngine(PoolOwnerMixin):
             batch.number, self.graph.num_placeholders, self.graph.num_edges
         )
         self._snapshot_counter += 1
+        if self._storage is not None:
+            self._storage.note_applied()
 
     # ------------------------------------------------------------------ result assembly
     def _result_from_batch(self, batch: CompletedBatch) -> SnapshotResult:
@@ -472,6 +625,14 @@ class MnemonicEngine(PoolOwnerMixin):
         if footprint is not None:
             result.live_edges, result.edge_placeholders, result.debi_bits = footprint
         result.ingest_latency_seconds = ingest_latency(batch)
+        if self._storage is not None:
+            # Seal at *delivery*, in stream order: an epoch enters the journal
+            # only once its results reached the client, so recovery replays
+            # exactly the delivered prefix and the client refeeds the rest.
+            self._storage.seal_epoch(
+                batch.number, batch.insert_events, batch.delete_events,
+                self._checkpoint_state,
+            )
         return result
 
     def _on_spilled_access(self, edge_id: int) -> None:
@@ -522,6 +683,7 @@ class MnemonicEngine(PoolOwnerMixin):
         if self.external_store is not None:
             report["spilled_edges"] = self.external_store.spilled_count
             report["external_bytes"] = self.external_store.stats.bytes_written
+        report.update(self.storage_counters())
         return report
 
 

@@ -176,6 +176,10 @@ class CompletedBatch:
     first_arrival: float | None = None
     #: stream-clock time at which the batch's results became available
     completed_at: float | None = None
+    #: the batch's raw events, kept so durable engines can journal the
+    #: epoch at delivery time (sealing happens in stream order)
+    insert_events: "Sequence[StreamEvent]" = ()
+    delete_events: "Sequence[StreamEvent]" = ()
 
     def phases(self) -> Iterator[PhaseOutcome]:
         if self.insert_phase is not None:
@@ -261,6 +265,8 @@ class BatchPipeline:
             number=number,
             num_insertions=len(insertions),
             num_deletions=len(deletions),
+            insert_events=tuple(insertions),
+            delete_events=tuple(deletions),
         )
         if insertions:
             batch.insert_phase = self._run_insert_phase(insertions, overlap=False)
@@ -293,6 +299,8 @@ class BatchPipeline:
                 num_insertions=len(snapshot.insertions),
                 num_deletions=len(snapshot.deletions),
                 first_arrival=snapshot.first_arrival,
+                insert_events=tuple(snapshot.insertions),
+                delete_events=tuple(snapshot.deletions),
             )
             if snapshot.insertions:
                 batch.insert_phase = self._run_insert_phase(

@@ -125,11 +125,15 @@ def build_query_runtime(
     graph: DynamicGraph,
     use_degree_filter: bool = True,
     root: int | None = None,
+    rebuild_index: bool = True,
 ) -> QueryRuntime:
     """InitializeIndex for one query over ``graph`` (tree, orders, masks, DEBI).
 
     When the graph is non-empty the index is rebuilt immediately, so a
     query registered mid-stream starts consistent with the live graph.
+    ``rebuild_index=False`` skips that pass; checkpoint recovery uses it
+    because the DEBI content is about to be overwritten from the
+    checkpointed word buffers anyway.
     """
     query.validate()
     match_def = match_def or DefaultMatchDefinition()
@@ -144,7 +148,7 @@ def build_query_runtime(
     index_manager = IndexManager(
         query, tree, graph, debi, match_def, use_degree_filter=use_degree_filter
     )
-    if graph.num_edges:
+    if rebuild_index and graph.num_edges:
         index_manager.rebuild()
     query_state = QueryState.build(
         query=query,
@@ -232,6 +236,7 @@ class QueryRegistry:
         name: str | None = None,
         root: int | None = None,
         sink: ResultSink | None = None,
+        rebuild_index: bool = True,
     ) -> int:
         """Add a standing query; returns its query id."""
         from repro.core.engine import RunResult
@@ -239,6 +244,7 @@ class QueryRegistry:
         runtime = build_query_runtime(
             query, match_def, self.graph,
             use_degree_filter=self.use_degree_filter, root=root,
+            rebuild_index=rebuild_index,
         )
         query_id = self._next_id
         self._next_id += 1
@@ -380,9 +386,11 @@ class MultiQueryEngine(PoolOwnerMixin):
         self,
         config: "EngineConfig | None" = None,
         graph: DynamicGraph | None = None,
+        _recovered=None,
     ) -> None:
         from repro.core.engine import EngineConfig
         from repro.core.pipeline import BatchPipeline
+        from repro.storage.runtime import EngineStorage
 
         self.config = config or EngineConfig()
         if self.config.stream.in_memory_window is not None:
@@ -394,6 +402,13 @@ class MultiQueryEngine(PoolOwnerMixin):
         self.registry = QueryRegistry(
             self.graph, use_degree_filter=self.config.use_degree_filter
         )
+        self._storage = None
+        self.recovery_info: dict | None = None
+        if self.config.storage is not None:
+            if _recovered is not None:
+                self._storage = _recovered.storage
+            else:
+                self._storage = EngineStorage.create(self.config.storage, kind="multi")
         self._snapshot_counter = 0
         self._adopt_pool(None)
         self._pool_version = -1
@@ -404,6 +419,10 @@ class MultiQueryEngine(PoolOwnerMixin):
         self._pipeline = BatchPipeline(
             self, mode=self.config.pipeline, fallback="simple"
         )
+        # A fresh durable engine writes "checkpoint 0" (empty registry);
+        # REGISTER/UNREGISTER journal records track membership from there.
+        if self._storage is not None and _recovered is None:
+            self._storage.checkpoint_now(self._checkpoint_state)
 
     # ------------------------------------------------------------------ pipeline counters
     @property
@@ -427,13 +446,44 @@ class MultiQueryEngine(PoolOwnerMixin):
         sink: ResultSink | None = None,
     ) -> int:
         """Register a standing query against the live graph; returns its id."""
-        return self.registry.register(
+        query_id = self.registry.register(
             query, match_def=match_def, name=name, root=root, sink=sink
+        )
+        self._attach_storage_to_query(query_id)
+        if self._storage is not None:
+            registered = self.registry.get(query_id)
+            self._storage.append_register(query_id, {
+                "query_id": query_id,
+                "name": registered.name,
+                "query": query,
+                "match_def": registered.runtime.match_def,
+                # the *resolved* root, so a replayed registration builds the
+                # identical query tree regardless of label frequencies
+                "root": registered.runtime.tree.root,
+            })
+        return query_id
+
+    def _attach_storage_to_query(self, query_id: int) -> None:
+        """Move a freshly built runtime's DEBI onto the cold tier if configured."""
+        if self._storage is None or self.config.storage.debi_hot_rows is None:
+            return
+        runtime = self.registry.get(query_id).runtime
+        runtime.debi.enable_spill(
+            self._storage.debi_directory(query_id),
+            hot_rows=self.config.storage.debi_hot_rows,
+            segment_rows=self.config.storage.debi_segment_rows,
         )
 
     def unregister(self, query_id: int) -> "RunResult":
         """Drop a standing query; returns its accumulated results."""
-        return self.registry.unregister(query_id)
+        result = self.registry.unregister(query_id)
+        if self._storage is not None:
+            self._storage.append_unregister(query_id)
+        return result
+
+    def attach_sink(self, query_id: int, sink: ResultSink | None) -> None:
+        """(Re)attach a result sink — sinks are not persisted across recovery."""
+        self.registry.get(query_id).sink = sink
 
     # ------------------------------------------------------------------ lifecycle
     @property
@@ -450,6 +500,8 @@ class MultiQueryEngine(PoolOwnerMixin):
             # join them before the segments are unlinked.
             self._pipeline.flush()
         self._release_pool()
+        if self._storage is not None:
+            self._storage.close()
 
     def _release_pool(self) -> None:
         pool = self._detach_pool()
@@ -507,17 +559,18 @@ class MultiQueryEngine(PoolOwnerMixin):
         """Load an initial graph (insertions only) and index every query for it."""
         from repro.core.engine import MnemonicEngine
 
-        new_ids = []
-        for event in events:
-            event = MnemonicEngine._coerce_insert(event)
-            new_ids.append(
-                self.graph.add_edge(
-                    event.src, event.dst, event.label, event.timestamp,
-                    src_label=event.src_label, dst_label=event.dst_label,
-                )
+        coerced = [MnemonicEngine._coerce_insert(event) for event in events]
+        new_ids = [
+            self.graph.add_edge(
+                event.src, event.dst, event.label, event.timestamp,
+                src_label=event.src_label, dst_label=event.dst_label,
             )
+            for event in coerced
+        ]
         for _, registered in self.registry.items():
             registered.runtime.index_manager.handle_insertions(new_ids)
+        if self._storage is not None:
+            self._storage.note_initial(coerced)
         return len(new_ids)
 
     def run(self, source: StreamSource | Sequence[StreamEvent]) -> MultiRunResult:
@@ -619,6 +672,8 @@ class MultiQueryEngine(PoolOwnerMixin):
             batch.number, self.graph.num_placeholders, self.graph.num_edges
         )
         self._snapshot_counter += 1
+        if self._storage is not None:
+            self._storage.note_applied()
 
     # ------------------------------------------------------------------ result assembly
     def _result_from_batch(self, batch: "CompletedBatch") -> MultiSnapshotResult:
@@ -676,6 +731,12 @@ class MultiQueryEngine(PoolOwnerMixin):
                 result.live_edges = live_edges
                 result.edge_placeholders = placeholders
                 result.debi_bits = debi_bits.get(qid, 0)
+        if self._storage is not None:
+            # Seal at delivery, in stream order (see MnemonicEngine).
+            self._storage.seal_epoch(
+                batch.number, batch.insert_events, batch.delete_events,
+                self._checkpoint_state,
+            )
         return multi
 
     def _deliver(self, multi: MultiSnapshotResult) -> MultiSnapshotResult:
@@ -699,3 +760,151 @@ class MultiQueryEngine(PoolOwnerMixin):
         every backend (for serial outcomes it is the per-unit time sum).
         """
         return sum(stats.busy_seconds for stats in outcome.worker_stats)
+
+    # ------------------------------------------------------------------ durability
+    @classmethod
+    def open(cls, directory, config: "EngineConfig | None" = None) -> "MultiQueryEngine":
+        """Recover a durable multi-query engine from ``directory``.
+
+        Registered queries are rebuilt from the checkpoint with their
+        original query ids; REGISTER/UNREGISTER journal records replay
+        membership changes made after the checkpoint.  Result sinks are
+        *not* persisted — reattach them with :meth:`attach_sink`.
+        """
+        from dataclasses import replace
+
+        from repro.core.engine import EngineConfig
+        from repro.storage.config import StorageConfig
+        from repro.storage.runtime import EngineStorage
+
+        config = config or EngineConfig()
+        storage_cfg = config.storage or StorageConfig(directory=directory)
+        config = replace(config, storage=replace(storage_cfg, directory=directory))
+        recovered = EngineStorage.open_existing(config.storage, kind="multi")
+        # open_existing may fold persisted cold-tier geometry into the config.
+        config = replace(config, storage=recovered.storage.config)
+        state = recovered.checkpoint_state
+        engine = cls(config=config, graph=state["graph"], _recovered=recovered)
+        for entry in state["queries"]:
+            engine._restore_query(entry)
+        engine.registry._next_id = state["next_id"]
+        engine._snapshot_counter = state["snapshot_counter"]
+        engine._replay_journal(recovered)
+        recovered.storage.finish_recovery(recovered.info["journal_valid_bytes"])
+        # Re-checkpoint the recovered state so the next restart starts here.
+        recovered.storage.checkpoint_now(engine._checkpoint_state)
+        engine.recovery_info = recovered.info
+        return engine
+
+    def _restore_query(self, entry: dict) -> None:
+        """Re-register one checkpointed query under its original id."""
+        self.registry._next_id = entry["query_id"]
+        query_id = self.registry.register(
+            entry["query"], match_def=entry["match_def"], name=entry["name"],
+            root=entry["root"], rebuild_index=False,
+        )
+        assert query_id == entry["query_id"]
+        self._attach_storage_to_query(query_id)
+        self.registry.get(query_id).runtime.debi.restore_buffers(**entry["debi"])
+
+    def _replay_journal(self, recovered) -> None:
+        from repro.storage.journal import RecordKind
+        from repro.storage.recovery import (
+            events_from_tuples,
+            replay_epoch,
+            replay_insertions,
+        )
+
+        for record in recovered.records:
+            slots = {qid: rq.runtime for qid, rq in self.registry.items()}
+            if record.kind is RecordKind.INITIAL:
+                replay_insertions(self.graph, slots, events_from_tuples(record.data()))
+            elif record.kind is RecordKind.EPOCH:
+                inserts, deletes = record.data()
+                replay_epoch(
+                    self.graph, slots,
+                    events_from_tuples(inserts), events_from_tuples(deletes),
+                )
+            elif record.kind is RecordKind.REGISTER:
+                entry = record.data()
+                # A replayed registration rebuilds its index against the
+                # replayed graph — the same state the original saw (the
+                # incremental-equals-rebuild invariant covers any batches
+                # sealed after the registration).
+                self.registry._next_id = entry["query_id"]
+                query_id = self.register(
+                    entry["query"], match_def=entry["match_def"],
+                    name=entry["name"], root=entry["root"],
+                )
+                assert query_id == entry["query_id"]
+            elif record.kind is RecordKind.UNREGISTER:
+                self.registry.unregister(record.data())
+
+    def _checkpoint_state(self) -> dict:
+        """Snapshot graph + registry metadata + every query's DEBI buffers."""
+        import numpy as np
+
+        queries = []
+        for query_id, registered in self.registry.items():
+            buffers = registered.runtime.debi.export_buffers()
+            queries.append({
+                "query_id": query_id,
+                "name": registered.name,
+                "query": registered.runtime.query,
+                "match_def": registered.runtime.match_def,
+                "root": registered.runtime.tree.root,
+                "debi": {
+                    "rows": np.array(buffers["rows"], copy=True),
+                    "num_rows": buffers["num_rows"],
+                    "width": buffers["width"],
+                    "roots": np.array(buffers["roots"], copy=True),
+                    "root_bits": buffers["root_bits"],
+                },
+            })
+        return {
+            "kind": "multi",
+            "graph": self.graph,
+            "next_id": self.registry._next_id,
+            "snapshot_counter": self._snapshot_counter,
+            "queries": queries,
+        }
+
+    def checkpoint(self) -> None:
+        """Force a checkpoint now (requires a quiescent engine)."""
+        if self._storage is None:
+            raise ConfigurationError("engine has no storage attached")
+        self._pipeline.flush()
+        if not self._storage.quiescent():
+            raise ConfigurationError(
+                "checkpoint requires a quiescent engine (every applied batch "
+                "delivered); mid-run checkpoints are taken automatically at "
+                "sealed epoch boundaries"
+            )
+        self._storage.checkpoint_now(self._checkpoint_state)
+
+    def storage_counters(self) -> dict:
+        """Journal/checkpoint counters plus per-engine spill totals."""
+        if self._storage is None:
+            return {}
+        counters = self._storage.counters()
+        spilled_rows = disk_bytes = hot_bytes = cold_reads = cold_writes = 0
+        any_spill = False
+        for _, registered in self.registry.items():
+            spill = registered.runtime.debi.spill_stats()
+            if spill is None:
+                continue
+            any_spill = True
+            spilled_rows += spill["spilled_rows"]
+            disk_bytes += spill["debi_disk_bytes"]
+            hot_bytes += spill["debi_hot_bytes"]
+            cold_reads += spill["cold_reads"]
+            cold_writes += spill["cold_writes"]
+        if any_spill:
+            counters.update({
+                "spilled_rows": spilled_rows,
+                "debi_disk_bytes": disk_bytes,
+                "debi_hot_bytes": hot_bytes,
+                "cold_reads": cold_reads,
+                "cold_writes": cold_writes,
+            })
+        return counters

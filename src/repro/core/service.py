@@ -89,6 +89,40 @@ class MnemonicService:
         self._offered = 0
         self._closed = False
 
+    # ------------------------------------------------------------------ durability
+    @classmethod
+    def open(
+        cls,
+        directory,
+        config=None,
+        capacity: int = 8192,
+        clock: Clock | None = None,
+    ) -> "MnemonicService":
+        """Recover a durable engine from ``directory`` and wrap it in a service.
+
+        Dispatches on the engine kind recorded in the state directory's
+        ``meta.json`` (single- vs multi-query).  The recovered engine is
+        owned by the caller, exactly as with the normal constructor —
+        reach it as ``service.engine`` (its ``recovery_info`` says where
+        to resume the upstream feed: refeed everything after
+        ``last_sealed_number``).  Snapshot numbering continues from the
+        last sealed epoch so refed batches journal under fresh numbers.
+        """
+        from repro.core.engine import MnemonicEngine
+        from repro.core.registry import MultiQueryEngine
+        from repro.storage.runtime import EngineStorage
+
+        kind = EngineStorage.peek_kind(directory)
+        if kind == "single":
+            engine = MnemonicEngine.open(directory, config=config)
+        else:
+            engine = MultiQueryEngine.open(directory, config=config)
+        service = cls(engine, capacity=capacity, clock=clock)
+        last = (engine.recovery_info or {}).get("last_sealed_number")
+        if last is not None:
+            service._number = last + 1
+        return service
+
     # ------------------------------------------------------------------ ingest
     def submit(
         self,

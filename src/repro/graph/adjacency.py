@@ -145,6 +145,25 @@ class DynamicGraph:
         self._journal_vertices: set[int] = set()
         self._csr_cache: "CSRSnapshot | None" = None
 
+    # ------------------------------------------------------------------ pickling
+    def __getstate__(self) -> dict:
+        """Drop the transient CSR export cache when pickling (checkpoints).
+
+        The cached snapshot is an optimisation keyed to the delta journal;
+        a restored graph starts from a clean full-export state.  Everything
+        else — including the edge-id free lists, which make replayed
+        insertions allocate the same ids the original run used — survives
+        the round trip.
+        """
+        state = self.__dict__.copy()
+        state["_csr_cache"] = None
+        state["_journal_edges"] = set()
+        state["_journal_vertices"] = set()
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     # ------------------------------------------------------------------ vertices
     def add_vertex(self, vertex: int, label: int = 0) -> None:
         """Register ``vertex`` with ``label``; later calls may not change the label."""

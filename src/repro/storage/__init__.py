@@ -1,0 +1,35 @@
+"""Durable state for standing queries: spillable DEBI, journal, checkpoints.
+
+The paper's Table III advertises a disk-backed DEBI with a storage/runtime
+trade-off; this package supplies the disk tier plus the recovery machinery
+that lets standing queries survive process restarts:
+
+* :mod:`repro.storage.config` — :class:`StorageConfig`, the knob bundle
+  attached to :class:`repro.core.engine.EngineConfig`;
+* :mod:`repro.storage.spill` — :class:`TieredBitMatrix`, a drop-in
+  replacement for :class:`repro.utils.bitset.BitMatrix` whose rows beyond
+  a hot budget live in mmap'd segment files;
+* :mod:`repro.storage.journal` — the append-only, CRC-framed epoch
+  journal sealed once per delivered :class:`~repro.core.pipeline.CompletedBatch`;
+* :mod:`repro.storage.checkpoint` — atomic checkpoint files with JSON
+  sidecars and corruption fallback;
+* :mod:`repro.storage.runtime` — :class:`EngineStorage`, the per-engine
+  driver that owns all of the above;
+* :mod:`repro.storage.recovery` — journal replay mirroring the
+  :class:`~repro.core.pipeline.BatchPipeline` mutation order.
+"""
+
+from repro.storage.config import StorageConfig
+from repro.storage.journal import JournalRecord, RecordKind, scan_journal
+from repro.storage.runtime import EngineStorage, StorageError
+from repro.storage.spill import TieredBitMatrix
+
+__all__ = [
+    "StorageConfig",
+    "EngineStorage",
+    "StorageError",
+    "TieredBitMatrix",
+    "JournalRecord",
+    "RecordKind",
+    "scan_journal",
+]

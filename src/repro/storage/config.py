@@ -1,0 +1,76 @@
+"""Configuration for the durable-state subsystem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.utils.validation import ConfigurationError
+
+
+@dataclass
+class StorageConfig:
+    """Knobs for durable state, attached via ``EngineConfig.storage``.
+
+    Parameters
+    ----------
+    directory:
+        Root directory for all durable state of one engine: ``meta.json``,
+        ``journal.log``, ``checkpoints/`` and per-query ``debi/`` segment
+        directories.  One engine per directory.
+    checkpoint_interval:
+        Take a checkpoint every this many sealed epochs (``None`` disables
+        periodic checkpoints; the initial "checkpoint 0" written when the
+        engine attaches is always present so recovery has a base image).
+        In pipelined mode a due checkpoint is deferred until the engine is
+        quiescent (every applied batch also delivered), so the checkpoint
+        never captures mutations whose journal records are not yet sealed.
+    fsync:
+        When True, fsync the journal after every sealed epoch and each
+        checkpoint payload.  Durable against machine crashes, but adds a
+        per-epoch latency floor; the default (False) only flushes to the
+        OS page cache, which survives process crashes — the failure mode
+        the recovery suite simulates.
+    debi_hot_rows:
+        Hot-row budget per query: DEBI rows (edge ids) below this bound
+        stay in one RAM-resident numpy array, rows at or beyond it live in
+        mmap'd segment files.  ``None`` keeps the whole DEBI in memory
+        (journal + checkpoints still active).
+    debi_segment_rows:
+        Rows per cold segment file (8 bytes per row on disk).
+    keep_checkpoints:
+        Number of most recent checkpoints to retain; older ones are
+        pruned after a successful save.  At least 2 is recommended so a
+        corrupt latest checkpoint can fall back to its predecessor.
+    """
+
+    directory: str | Path
+    checkpoint_interval: int | None = 8
+    fsync: bool = False
+    debi_hot_rows: int | None = None
+    debi_segment_rows: int = 4096
+    keep_checkpoints: int = 2
+
+    def __post_init__(self) -> None:
+        if not str(self.directory):
+            raise ConfigurationError("storage directory must be a non-empty path")
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ConfigurationError(
+                f"checkpoint_interval must be positive or None, got {self.checkpoint_interval}"
+            )
+        if self.debi_hot_rows is not None and self.debi_hot_rows <= 0:
+            raise ConfigurationError(
+                f"debi_hot_rows must be positive or None, got {self.debi_hot_rows}"
+            )
+        if self.debi_segment_rows <= 0:
+            raise ConfigurationError(
+                f"debi_segment_rows must be positive, got {self.debi_segment_rows}"
+            )
+        if self.keep_checkpoints < 1:
+            raise ConfigurationError(
+                f"keep_checkpoints must be >= 1, got {self.keep_checkpoints}"
+            )
+
+    @property
+    def path(self) -> Path:
+        return Path(self.directory)

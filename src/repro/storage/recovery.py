@@ -1,0 +1,92 @@
+"""Journal replay: re-apply sealed epochs in pipeline mutation order.
+
+Replay is mutation-only — no enumeration runs, no results are produced.
+It re-executes exactly the graph/DEBI updates that
+:class:`repro.core.pipeline.BatchPipeline` performed for each sealed
+epoch, in the same order:
+
+1. insert phase: every event's ``graph.add_edge`` first, then one
+   ``index_manager.handle_insertions(new_ids)`` per registered query;
+2. delete phase: ``resolve_deletions`` picks the doomed edge ids, each
+   doomed edge's DEBI rows are captured *before* the graph delete, then
+   the graph delete, DEBI row clears, and finally one
+   ``index_manager.handle_deletions`` per query.
+
+Determinism hinges on two properties proven by the recovery suite: edge
+ids are allocated from the pickled free-list (checkpointed with the
+graph), so replayed inserts receive the ids the original run used; and
+``resolve_deletions`` breaks ties deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.streams.events import EventKind, StreamEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.registry import QueryRuntime
+    from repro.graph.adjacency import DynamicGraph
+
+
+def event_tuples(events: Iterable[StreamEvent]) -> list[tuple]:
+    """Flatten events for journal payloads (plain tuples pickle compactly)."""
+    return [
+        (int(e.kind), e.src, e.dst, e.label, e.timestamp, e.src_label, e.dst_label)
+        for e in events
+    ]
+
+
+def events_from_tuples(rows: Iterable[Sequence]) -> list[StreamEvent]:
+    """Inverse of :func:`event_tuples`."""
+    return [
+        StreamEvent(
+            kind=EventKind(kind), src=src, dst=dst, label=label,
+            timestamp=timestamp, src_label=src_label, dst_label=dst_label,
+        )
+        for kind, src, dst, label, timestamp, src_label, dst_label in rows
+    ]
+
+
+def replay_insertions(
+    graph: "DynamicGraph",
+    slots: dict[int, "QueryRuntime"],
+    insertions: Sequence[StreamEvent],
+) -> None:
+    """Insert phase of one epoch (also used for INITIAL records)."""
+    if not insertions:
+        return
+    new_ids = [
+        graph.add_edge(
+            e.src, e.dst, e.label, e.timestamp,
+            src_label=e.src_label, dst_label=e.dst_label,
+        )
+        for e in insertions
+    ]
+    for runtime in slots.values():
+        runtime.index_manager.handle_insertions(new_ids)
+
+
+def replay_epoch(
+    graph: "DynamicGraph",
+    slots: dict[int, "QueryRuntime"],
+    insertions: Sequence[StreamEvent],
+    deletions: Sequence[StreamEvent],
+) -> None:
+    """Re-apply one sealed epoch's mutations to graph + every query's DEBI."""
+    from repro.core.registry import resolve_deletions
+
+    replay_insertions(graph, slots, insertions)
+    if deletions:
+        doomed = resolve_deletions(graph, deletions)
+        deleted = []
+        for edge_id in doomed:
+            masks = {qid: runtime.debi.row(edge_id) for qid, runtime in slots.items()}
+            record = graph.delete_edge(edge_id)
+            for runtime in slots.values():
+                runtime.debi.clear_edge(edge_id)
+            deleted.append((record, masks))
+        for qid, runtime in slots.items():
+            runtime.index_manager.handle_deletions(
+                [(record, masks[qid]) for record, masks in deleted]
+            )

@@ -123,6 +123,20 @@ class BitVector:
         vec._nbits = nbits
         return vec
 
+    def load_words(self, words: np.ndarray, nbits: int) -> None:
+        """Overwrite all content from an exported word buffer (in place).
+
+        The writable inverse of :meth:`from_words`, used by checkpoint
+        restore: existing references to this vector stay valid.
+        """
+        words = np.asarray(words, dtype=np.uint64)
+        if words.shape[0] > self._words.shape[0]:
+            self._words = np.array(words, dtype=np.uint64, copy=True)
+        else:
+            self._words[: words.shape[0]] = words
+            self._words[words.shape[0] :] = 0
+        self._nbits = nbits
+
     def iter_set(self):
         """Yield the indexes of all set bits in increasing order."""
         nonzero_words = np.nonzero(self._words)[0]
@@ -247,6 +261,20 @@ class BitMatrix:
         matrix._rows = np.asarray(rows, dtype=np.uint64)
         matrix._nrows = len(matrix._rows) if nrows is None else nrows
         return matrix
+
+    def load_words(self, rows: np.ndarray, nrows: int) -> None:
+        """Overwrite all content from an exported row buffer (in place).
+
+        The writable inverse of :meth:`from_words`, used by checkpoint
+        restore: existing references to this matrix stay valid.
+        """
+        rows = np.asarray(rows, dtype=np.uint64)
+        if rows.shape[0] > self._rows.shape[0]:
+            self._rows = np.array(rows, dtype=np.uint64, copy=True)
+        else:
+            self._rows[: rows.shape[0]] = rows
+            self._rows[rows.shape[0] :] = 0
+        self._nrows = nrows
 
     # -- bulk operations ----------------------------------------------------
     def filter_rows_with_column(self, rows, col: int) -> list[int]:

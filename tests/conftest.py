@@ -13,6 +13,7 @@ The most important pieces are:
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass
 
 import pytest
@@ -20,6 +21,40 @@ import pytest
 from repro.graph.adjacency import DynamicGraph
 from repro.query.query_graph import WILDCARD_LABEL, QueryGraph
 from repro.streams.events import StreamEvent
+from repro.utils.rng import make_rng
+
+
+# ---------------------------------------------------------------------- seeded randomness
+@pytest.fixture
+def rng_seed(request) -> int:
+    """A per-test RNG seed, printed on failure so runs can be replayed.
+
+    Randomized tests derive all their randomness from this seed (via
+    ``repro.utils.rng.make_rng``).  Set ``REPRO_TEST_SEED`` to pin it:
+
+        REPRO_TEST_SEED=1234 pytest tests/test_recovery.py -k randomized
+    """
+    env = os.environ.get("REPRO_TEST_SEED")
+    seed = int(env) if env else int.from_bytes(os.urandom(4), "little")
+    request.node._repro_seed = seed
+    return seed
+
+
+@pytest.fixture
+def rng(rng_seed):
+    """A ``numpy`` Generator seeded from :func:`rng_seed`."""
+    return make_rng(rng_seed)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    seed = getattr(item, "_repro_seed", None)
+    if seed is not None and report.when == "call" and report.failed:
+        report.sections.append(
+            ("randomized test seed", f"replay with: REPRO_TEST_SEED={seed} pytest {item.nodeid}")
+        )
 
 
 # ---------------------------------------------------------------------- reference matcher
