@@ -38,6 +38,15 @@ recovered with ``MnemonicEngine.open`` must reproduce the uninterrupted
 run's positive and negative identity multisets exactly, with real rows
 on the cold tier; spill and journal counters ride along in the metrics.
 
+The ``self_healing_parity`` gate protects the supervised execution
+layer: runs whose pool workers are deterministically SIGKILLed
+mid-stream (1..3 faults, serial and pipelined modes) must complete with
+result sets bit-identical to the fault-free run and at least one
+recorded respawn; a hung worker must be cut off by the epoch deadline
+(no deadlock) and recovered the same way; and exhausting the respawn
+budget must degrade to the thread backend while still matching the
+fault-free results.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py                    # gate vs baseline
@@ -475,6 +484,141 @@ def run_durability_parity(stream) -> tuple[dict, list[str]]:
     return metrics, failures
 
 
+def run_self_healing_parity(stream) -> tuple[dict, list[str]]:
+    """The chaos gate: killed and hung pool workers must not change a result.
+
+    Every chaos run is compared against a fault-free run of the same
+    configuration (process backend, both pipeline modes):
+
+    * ``kill{1..3}``: the first 1..3 pool generations SIGKILL their
+      workers mid-enumeration; the supervisor must respawn and
+      redispatch the in-flight epochs, the result identity sets must be
+      bit-identical, and at least one respawn must be recorded;
+    * ``hang``: generation 0 wedges at its first work unit; the epoch
+      deadline must cut the drain off (no deadlock), counted in
+      ``deadline_expiries``, and recovery proceeds as for a kill;
+    * ``exhausted``: more kills than the respawn budget; the engine must
+      degrade to the thread backend (recorded in ``degradations``) and
+      still match the fault-free results.
+
+    Not baseline-gated (like service_parity): the invariants are
+    asserted directly every run.
+    """
+    import warnings
+
+    from repro.core.supervisor import FaultPolicy
+    from repro.utils import faults
+
+    workload = build_query_workload(
+        stream, tree_sizes=(6,), graph_sizes=(),
+        queries_per_suite=1, prefix=2000, seed=11,
+    )
+    prefix = len(stream) - FIG06_SUFFIX
+    mixed = build_parity_mixed_stream(stream, prefix)
+    parallel = ParallelConfig(backend="process", num_workers=2, chunk_size=32)
+    failures: list[str] = []
+    metrics: dict[str, dict] = {}
+
+    def chaos_run(suite, query, mode, plan, policy):
+        with warnings.catch_warnings():
+            # Budget exhaustion legitimately warns about the degradation;
+            # the gate checks the counters instead of the warning text.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with faults.injected(plan):
+                return run_mnemonic_stream(
+                    query, mixed, initial_prefix=prefix, batch_size=FIG06_BATCH,
+                    stream_type=StreamType.INSERT_DELETE, collect_embeddings=True,
+                    parallel=parallel, pipeline=mode, fault=policy,
+                    query_name=suite,
+                )
+
+    def check_identity(label, run, base_pos, base_neg):
+        if positive_identities(run.run_result) != base_pos:
+            failures.append(f"{label}: positive results differ from fault-free")
+        if negative_identities(run.run_result) != base_neg:
+            failures.append(f"{label}: negative results differ from fault-free")
+
+    for suite, query in workload:
+        for mode in ("serial", "pipelined"):
+            baseline = run_mnemonic_stream(
+                query, mixed, initial_prefix=prefix, batch_size=FIG06_BATCH,
+                stream_type=StreamType.INSERT_DELETE, collect_embeddings=True,
+                parallel=parallel, pipeline=mode, query_name=suite,
+            )
+            base_pos = positive_identities(baseline.run_result)
+            base_neg = negative_identities(baseline.run_result)
+            if not base_pos or not base_neg:
+                failures.append(
+                    f"self_healing_parity/{suite}.{mode}: vacuous gate "
+                    f"(positives={len(base_pos)}, negatives={len(base_neg)})"
+                )
+
+            for kills in (1, 2, 3):
+                label = f"self_healing_parity/{suite}.{mode}.kill{kills}"
+                run = chaos_run(
+                    suite, query, mode,
+                    faults.FaultPlan(kill_at_unit=2, kills=kills),
+                    FaultPolicy(max_respawns=kills + 1, backoff_initial_seconds=0.0),
+                )
+                stats = run.extra["fault_stats"]
+                check_identity(label, run, base_pos, base_neg)
+                if stats["respawns"] < 1:
+                    failures.append(f"{label}: no respawn was recorded ({stats})")
+                if stats["level"] != "process":
+                    failures.append(
+                        f"{label}: degraded to {stats['level']} despite budget"
+                    )
+                metrics[f"{suite}.{mode}.kill{kills}"] = {
+                    "seconds": run.seconds,
+                    "candidates_scanned": run.extra["candidates_scanned"],
+                    "respawns": stats["respawns"],
+                    "redispatched_epochs": stats["redispatched_epochs"],
+                }
+
+            label = f"self_healing_parity/{suite}.{mode}.hang"
+            run = chaos_run(
+                suite, query, mode,
+                faults.FaultPlan(hang_at_unit=1, hangs=1, hang_seconds=60.0),
+                FaultPolicy(max_respawns=2, backoff_initial_seconds=0.0,
+                            epoch_deadline_seconds=1.0),
+            )
+            stats = run.extra["fault_stats"]
+            check_identity(label, run, base_pos, base_neg)
+            if stats["deadline_expiries"] < 1:
+                failures.append(f"{label}: deadline never expired ({stats})")
+            if stats["respawns"] < 1:
+                failures.append(f"{label}: hung pool was never respawned ({stats})")
+            metrics[f"{suite}.{mode}.hang"] = {
+                "seconds": run.seconds,
+                "candidates_scanned": run.extra["candidates_scanned"],
+                "deadline_expiries": stats["deadline_expiries"],
+                "respawns": stats["respawns"],
+            }
+
+            label = f"self_healing_parity/{suite}.{mode}.exhausted"
+            run = chaos_run(
+                suite, query, mode,
+                faults.FaultPlan(kill_at_unit=2, kills=3),
+                FaultPolicy(max_respawns=1, backoff_initial_seconds=0.0),
+            )
+            stats = run.extra["fault_stats"]
+            check_identity(label, run, base_pos, base_neg)
+            if stats["level"] != "thread":
+                failures.append(
+                    f"{label}: expected degradation to the thread backend, "
+                    f"got level={stats['level']!r} ({stats})"
+                )
+            if "process->thread" not in stats["degradations"]:
+                failures.append(f"{label}: missing process->thread transition ({stats})")
+            metrics[f"{suite}.{mode}.exhausted"] = {
+                "seconds": run.seconds,
+                "candidates_scanned": run.extra["candidates_scanned"],
+                "respawns": stats["respawns"],
+                "degradations": stats["degradations"],
+            }
+    return metrics, failures
+
+
 def run_multi_query(stream) -> tuple[dict, list[str]]:
     """The multi-query sharing gate: 8 standing queries vs 8 engines.
 
@@ -604,9 +748,11 @@ def main(argv: list[str] | None = None) -> int:
     parity_metrics, parity_failures = run_pipeline_parity(stream)
     service_metrics, service_failures = run_service_parity(stream)
     durability_metrics, durability_failures = run_durability_parity(stream)
+    healing_metrics, healing_failures = run_self_healing_parity(stream)
     sharing_failures.extend(parity_failures)
     sharing_failures.extend(service_failures)
     sharing_failures.extend(durability_failures)
+    sharing_failures.extend(healing_failures)
     current = {
         "fig06": run_fig06(stream, workload),
         "fig08": run_fig08(stream, workload),
@@ -614,6 +760,7 @@ def main(argv: list[str] | None = None) -> int:
         "pipeline_parity": parity_metrics,
         "service_parity": service_metrics,
         "durability_parity": durability_metrics,
+        "self_healing_parity": healing_metrics,
     }
 
     with open(OUTPUT_PATH, "w", encoding="utf-8") as fh:
@@ -627,8 +774,8 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     if sharing_failures:
-        print("multi-query sharing / pipeline / service / durability parity "
-              "gate FAILED:", file=sys.stderr)
+        print("multi-query sharing / pipeline / service / durability / "
+              "self-healing parity gate FAILED:", file=sys.stderr)
         for line in sharing_failures:
             print(f"  {line}", file=sys.stderr)
         return 1

@@ -21,6 +21,7 @@ from repro.core.api import MatchDefinition
 from repro.core.engine import EngineConfig, MnemonicEngine, RunResult
 from repro.core.parallel import ParallelConfig
 from repro.core.registry import MultiQueryEngine, MultiRunResult
+from repro.core.supervisor import FaultPolicy
 from repro.datasets.queries import graph_from_events
 from repro.query.query_graph import QueryGraph
 from repro.storage.config import StorageConfig
@@ -84,6 +85,7 @@ def run_mnemonic_stream(
     recycle_edge_ids: bool = True,
     pipeline: str = "serial",
     storage: "StorageConfig | None" = None,
+    fault: FaultPolicy | None = None,
     query_name: str = "query",
 ) -> BenchRun:
     """Run the Mnemonic engine over ``stream`` and time the streaming part.
@@ -96,6 +98,9 @@ def run_mnemonic_stream(
     ``storage`` config runs the engine durably (journal + checkpoints +
     optional DEBI cold tier) and folds the storage counters into
     ``extra`` so tables can report disk footprint next to throughput.
+    A ``fault`` policy opts the run into self-healing (pool respawn and
+    redispatch under a retry budget); the supervisor's fault counters are
+    folded into ``extra["fault_stats"]`` either way.
     """
     config = EngineConfig(
         stream=StreamConfig(
@@ -110,6 +115,7 @@ def run_mnemonic_stream(
         recycle_edge_ids=recycle_edge_ids,
         pipeline=pipeline,
         storage=storage,
+        fault=fault or FaultPolicy(),
     )
     # Engine construction spawns the persistent worker pool (process
     # backend), so pool start-up is part of setup — not of the measured
@@ -133,6 +139,7 @@ def run_mnemonic_stream(
             "snapshot_exports": engine.snapshot_exports,
             "enumeration_phases": engine.enumeration_phases_with_units,
             "pool_phases": engine.pool_enumeration_phases,
+            "fault_stats": engine.fault_stats(),
         }
         if storage is not None:
             extra.update(engine.storage_counters())
@@ -165,6 +172,8 @@ def run_service_stream(
     pipeline: str = "serial",
     capacity: int = 4096,
     clock: Clock | None = None,
+    overload: str = "block",
+    fault: FaultPolicy | None = None,
     query_name: str = "query",
 ) -> BenchRun:
     """Run the engine behind a :class:`~repro.streams.broker.StreamBroker`.
@@ -175,7 +184,11 @@ def run_service_stream(
     optional rate control (``events_per_second`` on ``clock``) and
     adaptive batching (``max_batch_delay``).  The returned
     :class:`BenchRun` carries the ingest-to-result latency rollup next
-    to the throughput metrics, plus the broker's backpressure counters.
+    to the throughput metrics, plus the broker's backpressure counters —
+    including shed/rejected events under a non-default ``overload``
+    policy, so load-shedding runs report what they dropped next to the
+    latency they bought.  A ``fault`` policy opts the engine into
+    self-healing (see :func:`run_mnemonic_stream`).
     """
     config = EngineConfig(
         stream=StreamConfig(
@@ -186,6 +199,7 @@ def run_service_stream(
         parallel=parallel or ParallelConfig(),
         collect_embeddings=collect_embeddings,
         pipeline=pipeline,
+        fault=fault or FaultPolicy(),
     )
     engine = MnemonicEngine(query, match_def=match_def, config=config)
     try:
@@ -197,10 +211,19 @@ def run_service_stream(
         source: StreamSource = ListSource(suffix)
         if events_per_second is not None:
             source = ReplaySource(suffix, events_per_second=events_per_second, clock=clock)
-        broker = StreamBroker(source=source, capacity=capacity, clock=clock)
+        broker = StreamBroker(
+            source=source, capacity=capacity, clock=clock, overload=overload
+        )
         start = time.perf_counter()
         result = engine.run(broker)
         elapsed = time.perf_counter() - start
+        latency = result.latency_summary() or {}
+        broker_stats = broker.stats()
+        if broker_stats["shed_events"] or broker_stats["rejected_puts"]:
+            # A latency rollup over survivors only is misleading; carry
+            # the drop counts alongside so tables can show both.
+            latency["shed_events"] = broker_stats["shed_events"]
+            latency["rejected_puts"] = broker_stats["rejected_puts"]
         return BenchRun(
             system="Mnemonic-service",
             query_name=query_name,

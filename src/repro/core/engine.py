@@ -30,6 +30,7 @@ from repro.core.parallel import (
 )
 from repro.core.pipeline import BatchPipeline, CompletedBatch, ingest_latency
 from repro.core.registry import QueryRuntime, build_query_runtime
+from repro.core.supervisor import FaultPolicy, PoolSupervisor
 from repro.core.results import Embedding, ResultSet
 from repro.graph.adjacency import DynamicGraph
 from repro.graph.external import ExternalEdgeStore
@@ -65,6 +66,10 @@ class EngineConfig:
     collect_embeddings: bool = True
     #: durable state: journal + checkpoints + spillable DEBI (None = volatile)
     storage: StorageConfig | None = None
+    #: how pool faults are handled: respawn budget, backoff, epoch deadline
+    #: (the default policy performs no respawns — a broken pool degrades
+    #: straight to the thread backend, the pre-supervisor behaviour)
+    fault: FaultPolicy = field(default_factory=FaultPolicy)
 
 
 @dataclass
@@ -257,16 +262,19 @@ class MnemonicEngine(PoolOwnerMixin):
 
         # --- persistent parallel enumeration pool (process backend).
         # Spawned once per engine lifetime; each batch republishes the
-        # snapshot into shared memory instead of re-forking workers.
+        # snapshot into shared memory instead of re-forking workers.  The
+        # supervisor owns respawn/degradation policy across that lifetime.
         self.query_state = self.runtime.query_state
         # With an external edge store every context carries spill callbacks
         # the pool cannot ship across processes, so the pool would never be
         # used — don't spawn idle workers for that configuration.
-        self._adopt_pool(
+        self._supervisor = PoolSupervisor(
+            self.config.fault,
             None
             if self.external_store is not None
-            else SharedMemoryPool.create(self.query_state, self.config.parallel)
+            else (lambda: SharedMemoryPool.create(self.query_state, self.config.parallel)),
         )
+        self._adopt_pool(self._supervisor.spawn())
 
         # --- the shared batch-execution loop (serial or pipelined).
         self._pipeline = BatchPipeline(
@@ -407,11 +415,16 @@ class MnemonicEngine(PoolOwnerMixin):
             storage.close()
 
     def _harvest_and_close_pool(self) -> None:
-        """Close the pool, folding its epoch count into the lifetime total."""
+        """Close the pool(s), folding their epoch counts into the lifetime total.
+
+        Covers both the active pool and any pools the supervisor retired
+        after faults (their snapshot exports must stay visible forever).
+        """
         pool = self._detach_pool()
         if pool is not None:
             self._exports_before_pool += getattr(pool, "publish_count", 0)
             pool.close()
+        self._exports_before_pool += self._supervisor.release_retired()
 
     def __enter__(self) -> "MnemonicEngine":
         return self
@@ -517,9 +530,17 @@ class MnemonicEngine(PoolOwnerMixin):
     # ------------------------------------------------------------------ pipeline metrics
     @property
     def snapshot_exports(self) -> int:
-        """Shared-memory snapshot publications (epochs) over the engine lifetime."""
+        """Shared-memory snapshot publications (epochs) over the engine lifetime.
+
+        Includes pools the supervisor already retired after a fault, so
+        the count is monotonic across respawns.
+        """
         current = self._pool.publish_count if self._pool is not None else 0
-        return self._exports_before_pool + current
+        return (
+            self._exports_before_pool
+            + self._supervisor.retired_publish_count
+            + current
+        )
 
     @property
     def enumeration_phases_with_units(self) -> int:
@@ -538,10 +559,30 @@ class MnemonicEngine(PoolOwnerMixin):
     def pipeline_acquire_pool(self, pipeline: BatchPipeline) -> SharedMemoryPool | None:
         return self._pool
 
-    def pipeline_pool_broken(self) -> None:
-        # The broken pool's leftover chunks must not keep burning cores
-        # behind the fallback's back; drop the reference and shut it down.
-        self._harvest_and_close_pool()
+    def pipeline_pool_broken(self) -> SharedMemoryPool | None:
+        # Retire the broken pool (killing its workers, so leftover chunks
+        # stop burning cores, but keeping its frozen segments alive for
+        # redispatch) and let the supervisor respawn under the budget.
+        replacement = self._supervisor.replace(self._detach_pool())
+        return self._adopt_pool(replacement)
+
+    def pipeline_degraded_backend(self) -> str | None:
+        return self._supervisor.degraded_backend()
+
+    def pipeline_recovery_finished(self, redispatched: int, recovered: int) -> None:
+        self._supervisor.note_recovery(redispatched, recovered)
+        # The retired pools' frozen epochs were all consumed by recovery;
+        # release the segments now, keeping their export counts visible.
+        self._exports_before_pool += self._supervisor.release_retired()
+
+    def pipeline_thread_backend_failed(self) -> None:
+        self._supervisor.thread_backend_failed()
+
+    def fault_stats(self) -> dict[str, object]:
+        """Supervision counters: faults, respawns, degradations, level."""
+        stats = self._supervisor.stats.as_dict()
+        stats["level"] = self._supervisor.level
+        return stats
 
     def pipeline_make_context(
         self,
@@ -613,6 +654,7 @@ class MnemonicEngine(PoolOwnerMixin):
             result.candidates_scanned += query_phase.candidates_scanned
             result.work_units += query_phase.work_units
             result.enumeration_outcomes.append(outcome)
+            self._supervisor.record_outcome(outcome)
             if phase.positive:
                 result.num_positive += outcome.num_embeddings
                 if collect:

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 import queue
+import signal as signal_module
 import threading
 import time
 import traceback
@@ -46,6 +47,7 @@ from repro.core.shared_snapshot import (
     disable_shm_resource_tracking,
     shared_memory_available,
 )
+from repro.utils import faults as fault_injection
 from repro.utils.validation import ConfigurationError, check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -113,6 +115,10 @@ class WorkerStats:
     busy_seconds: float = 0.0
     #: (start, end) wall-clock intervals during which the worker was busy
     busy_intervals: list[tuple[float, float]] = field(default_factory=list)
+    #: which pool generation produced these stats (0 before any respawn);
+    #: lets aggregation distinguish worker 0 of the original pool from
+    #: worker 0 of its replacement instead of silently merging them
+    generation: int = 0
 
     def utilisation(self, wall_seconds: float) -> float:
         """Fraction of ``wall_seconds`` this worker spent processing units.
@@ -183,6 +189,7 @@ def _run_threads(
 
     results: list[list["Embedding"]] = [[] for _ in range(num_workers)]
     stats = [WorkerStats(worker_id=i) for i in range(num_workers)]
+    failures: list[BaseException] = []
     start = time.perf_counter()
 
     def worker(worker_id: int) -> None:
@@ -192,9 +199,17 @@ def _run_threads(
             unit = work.get()
             if unit is None:
                 return
-            unit_start = time.perf_counter()
-            produced = list(context.match_def.enumerate(context, unit))
-            unit_end = time.perf_counter()
+            try:
+                fault_injection.thread_unit()
+                unit_start = time.perf_counter()
+                produced = list(context.match_def.enumerate(context, unit))
+                unit_end = time.perf_counter()
+            except BaseException as exc:
+                # A dying thread must not silently swallow its units: record
+                # the failure so the caller can re-raise instead of
+                # returning a partial (and wrong) result set.
+                failures.append(exc)
+                return
             local.extend(produced)
             st.units_processed += 1
             st.embeddings_found += len(produced)
@@ -206,6 +221,8 @@ def _run_threads(
         t.start()
     for t in threads:
         t.join()
+    if failures:
+        raise failures[0]
     wall = time.perf_counter() - start
     embeddings = [e for bucket in results for e in bucket]
     return EnumerationOutcome(embeddings, stats, wall)
@@ -271,6 +288,15 @@ def _run_processes(
 # ---------------------------------------------------------------------- shared-memory pool
 class PoolBrokenError(RuntimeError):
     """A pool worker died or misbehaved; the pool cannot be trusted further."""
+
+
+class EpochDeadlineError(PoolBrokenError):
+    """An epoch drain exceeded its deadline (likely a hung worker).
+
+    Subclasses :class:`PoolBrokenError` because the remedy is the same —
+    the pool cannot be trusted and the supervisor must replace it — but
+    the distinct type lets callers count deadline expiries separately.
+    """
 
 
 class PoolOwnerMixin:
@@ -438,7 +464,12 @@ def _pool_worker_main(
     # would under-count steps that share an anchor pool across columns).
     multi_query = len(query_states) > 1
     shared_cache: dict | None = {} if multi_query else None
-    current_epoch = None
+    # Keyed by (segment name, epoch), not epoch alone: a supervisor may
+    # redispatch a *retired* pool's frozen epoch to this pool (the
+    # segment names are globally unique, so attaching by name works
+    # across pool generations), and the retired writer's epoch numbers
+    # can collide with our own writer's.
+    current_epoch: tuple[str, int] | None = None
     try:
         while True:
             task = task_queue.get()
@@ -446,10 +477,11 @@ def _pool_worker_main(
                 break
             epoch, descriptor, query_id, chunk, collect = task
             try:
-                if epoch != current_epoch:
+                epoch_key = (descriptor["name"], descriptor["epoch"])
+                if epoch_key != current_epoch:
                     contexts = {}
                     shared_cache = {} if multi_query else None
-                    current_epoch = epoch
+                    current_epoch = epoch_key
                 context = contexts.get(query_id)
                 if context is None:
                     graph_view, debis, batch_edge_ids = attachment.views(descriptor, trees)
@@ -465,12 +497,13 @@ def _pool_worker_main(
                 chunk_start = time.perf_counter()
                 embeddings: list["Embedding"] = []
                 for edge_id, start_edge in chunk.tolist():
+                    fault_injection.worker_unit(worker_id)
                     embeddings.extend(
                         context.match_def.enumerate(context, WorkUnit(edge_id, start_edge))
                     )
                 chunk_end = time.perf_counter()
                 payload = _pack_embeddings(embeddings) if collect else None
-                result_queue.put((
+                result_queue.put(fault_injection.worker_message((
                     "ok",
                     epoch,
                     worker_id,
@@ -481,7 +514,7 @@ def _pool_worker_main(
                     chunk_start,
                     chunk_end,
                     context.candidates_scanned - scanned_before,
-                ))
+                )))
             except Exception:  # pragma: no cover - surfaced parent-side as PoolBrokenError
                 result_queue.put(
                     ("err", epoch, worker_id, query_id, len(chunk), traceback.format_exc())
@@ -512,14 +545,23 @@ class SharedMemoryPool:
 
         self.num_workers = num_workers
         self.chunk_size = chunk_size
+        #: stamped by the supervisor; tags WorkerStats across respawns
+        self.generation = 0
+        #: epoch drains aborted by a deadline (folded into supervisor stats)
+        self.deadline_expiries = 0
         self._writer = SharedSnapshotWriter(num_slots=2)
         self._inflight: dict[int, _InflightEpoch] = {}
+        self._adopted_ids = 0
         self._broken = False
         self._closed = False
+        self._terminated = False
         try:
             ctx = mp.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             ctx = mp.get_context("spawn")
+        # Freeze any armed fault-injection state *before* forking so the
+        # children inherit this generation's faults (no-op in production).
+        fault_injection.pool_spawning()
         self._task_queue = ctx.Queue()
         self._result_queue = ctx.Queue()
         self._workers = [
@@ -678,6 +720,49 @@ class SharedMemoryPool:
             raise PoolBrokenError(f"snapshot publication failed: {exc}") from exc
 
         epoch = descriptor["epoch"]
+        self._enqueue_epoch(epoch, descriptor, contexts, units, collect)
+        return DispatchedEpoch(epoch=epoch, descriptor=descriptor, units=units)
+
+    def adopt(
+        self,
+        handle: "DispatchedEpoch",
+        contexts: "dict[int, EnumerationContext]",
+        collect: bool = True,
+    ) -> int:
+        """Re-enqueue a *retired* pool's in-flight epoch on this pool.
+
+        ``handle`` carries the retired pool's frozen descriptor and the
+        exact work units it dispatched; the segment names inside the
+        descriptor are globally unique and the retired pool's writer is
+        still alive (terminated pools keep their segments), so this
+        pool's workers can attach to the frozen snapshot by name and
+        re-run the same units — bit-identical redispatch.  Returns an
+        epoch id to pass to :meth:`drain`; ids are negative so they can
+        never collide with this pool's own writer epochs.
+        """
+        if not self.usable:
+            raise PoolBrokenError("pool is closed or broken")
+        self._adopted_ids += 1
+        epoch_id = -self._adopted_ids
+        self._enqueue_epoch(epoch_id, handle.descriptor, contexts, handle.units, collect)
+        return epoch_id
+
+    def _enqueue_epoch(
+        self,
+        epoch_id: int,
+        descriptor: dict,
+        contexts: "dict[int, EnumerationContext]",
+        units: "dict[int, list[WorkUnit]]",
+        collect: bool,
+    ) -> None:
+        """Register in-flight state for ``epoch_id`` and enqueue its chunks.
+
+        ``epoch_id`` is a parent-side routing key echoed back by the
+        workers; the workers identify the snapshot itself purely through
+        the descriptor's (segment name, epoch) pair.
+        """
+        import numpy as np
+
         tasks: list[tuple] = []
         for qid, unit_list in units.items():
             unit_array = np.array(
@@ -686,7 +771,7 @@ class SharedMemoryPool:
             for i in range(0, len(unit_array), self.chunk_size):
                 tasks.append((qid, unit_array[i : i + self.chunk_size]))
         state = _InflightEpoch(
-            epoch=epoch,
+            epoch=epoch_id,
             contexts=contexts,
             collect=collect,
             pending=len(tasks),
@@ -695,24 +780,34 @@ class SharedMemoryPool:
             totals={qid: 0 for qid in contexts},
             scanned={qid: 0 for qid in contexts},
         )
-        self._inflight[epoch] = state
+        self._inflight[epoch_id] = state
         for qid, chunk in tasks:
-            self._task_queue.put((epoch, descriptor, qid, chunk, collect))
-        return DispatchedEpoch(epoch=epoch, descriptor=descriptor, units=units)
+            self._task_queue.put((epoch_id, descriptor, qid, chunk, collect))
 
-    def drain(self, handle: "DispatchedEpoch | int") -> "DrainedEpoch":
+    def drain(
+        self,
+        handle: "DispatchedEpoch | int",
+        deadline_seconds: float | None = None,
+    ) -> "DrainedEpoch":
         """Join on one dispatched epoch and return its per-query outcomes.
 
         Results of *other* in-flight epochs arriving meanwhile are
         buffered into their own epoch state, so epochs may be drained in
         any order (the pipeline drains them oldest-first).
+
+        ``deadline_seconds`` bounds the epoch's total wall clock,
+        measured from its dispatch: when it expires with results still
+        missing (a wedged worker never crashes, so the liveness poll
+        alone cannot catch it) the pool is declared broken and
+        :class:`EpochDeadlineError` is raised instead of waiting forever.
         """
         epoch = handle.epoch if isinstance(handle, DispatchedEpoch) else handle
         state = self._inflight.get(epoch)
         if state is None:
             raise PoolBrokenError(f"epoch {epoch} is not in flight")
+        deadline = None if deadline_seconds is None else state.start + deadline_seconds
         while state.pending:
-            self._route_result(self._next_result())
+            self._route_result(self._next_result(deadline))
         del self._inflight[epoch]
         wall = time.perf_counter() - state.start
         if state.failure is not None:
@@ -733,60 +828,148 @@ class SharedMemoryPool:
         return DrainedEpoch(epoch=epoch, outcomes=outcomes)
 
     def _route_result(self, message) -> None:
-        """Book one worker message into its epoch's in-flight state."""
-        kind, epoch = message[0], message[1]
-        state = self._inflight.get(epoch)
-        if state is None:  # pragma: no cover - defensive: unknown epoch
-            return
+        """Book one worker message into its epoch's in-flight state.
+
+        A malformed (torn) message — a worker died mid-``put`` or the
+        pipe delivered garbage — must break the pool like a crash does,
+        not raise an arbitrary unpack error into the drain loop.
+        """
+        try:
+            kind, epoch = message[0], message[1]
+            state = self._inflight.get(epoch)
+            if state is None:  # pragma: no cover - defensive: unknown epoch
+                return
+            if kind == "err":
+                state.pending -= 1
+                state.failure = message[5]
+                return
+            (_, _, worker_id, qid, n_units, n_found, payload, chunk_start,
+             chunk_end, scanned) = message
+        except (IndexError, KeyError, TypeError, ValueError) as exc:
+            self._broken = True
+            raise PoolBrokenError(
+                f"malformed result message from a pool worker (torn write?): "
+                f"{message!r}"
+            ) from exc
         state.pending -= 1
-        if kind == "err":
-            state.failure = message[5]
-            return
-        _, _, worker_id, qid, n_units, n_found, payload, chunk_start, chunk_end = message[:9]
         state.totals[qid] += n_found
-        state.scanned[qid] += message[9]
+        state.scanned[qid] += scanned
         if state.collect and payload is not None:
             state.embeddings[qid].extend(
                 _unpack_embeddings(payload, state.contexts[qid].positive)
             )
-        st = state.stats.setdefault((qid, worker_id), WorkerStats(worker_id=worker_id))
+        st = state.stats.setdefault(
+            (qid, worker_id),
+            WorkerStats(worker_id=worker_id, generation=self.generation),
+        )
         st.units_processed += n_units
         st.embeddings_found += n_found
         st.busy_seconds += chunk_end - chunk_start
         st.busy_intervals.append((chunk_start - state.start, chunk_end - state.start))
 
-    def _next_result(self):
-        """Fetch one result, polling worker liveness so a crash cannot deadlock."""
-        while True:
+    @staticmethod
+    def _describe_death(proc) -> str:
+        """One dead worker's obituary: name, pid, signal name or exit code."""
+        code = proc.exitcode
+        if code is not None and code < 0:
             try:
-                return self._result_queue.get(timeout=self._POLL_SECONDS)
+                cause = f"killed by {signal_module.Signals(-code).name}"
+            except ValueError:  # pragma: no cover - unknown signal number
+                cause = f"killed by signal {-code}"
+        else:
+            cause = f"exited with code {code}"
+        return f"{proc.name} (pid {proc.pid}) {cause}"
+
+    def _dead_workers_detail(self) -> str:
+        """Describe every dead worker, for the PoolBrokenError message."""
+        return "; ".join(
+            self._describe_death(proc)
+            for proc in self._workers
+            if not proc.is_alive()
+        )
+
+    def _next_result(self, deadline: float | None = None):
+        """Fetch one result, polling worker liveness so a crash cannot deadlock.
+
+        ``deadline`` is an absolute ``time.perf_counter()`` instant; past
+        it, an empty queue raises :class:`EpochDeadlineError` (the hung-
+        worker case liveness polling cannot catch).
+        """
+        while True:
+            timeout = self._POLL_SECONDS
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    # One last non-blocking look: results that arrived right
+                    # at the wire still count.
+                    try:
+                        return self._result_queue.get_nowait()
+                    except queue.Empty:
+                        self._broken = True
+                        self.deadline_expiries += 1
+                        raise EpochDeadlineError(
+                            "epoch drain exceeded its deadline; a worker is "
+                            "likely hung"
+                        ) from None
+                timeout = min(timeout, remaining)
+            try:
+                return self._result_queue.get(timeout=timeout)
             except queue.Empty:
-                if any(not proc.is_alive() for proc in self._workers):
+                dead = self._dead_workers_detail()
+                if dead:
                     self._broken = True
-                    raise PoolBrokenError("a pool worker died while processing a batch")
+                    raise PoolBrokenError(
+                        f"pool worker died while processing a batch: {dead}"
+                    )
 
     # ------------------------------------------------------------------ lifecycle
-    def close(self, join_timeout: float = 2.0) -> None:
-        """Shut the workers down and unlink the shared-memory segment."""
-        if self._closed:
+    def terminate(self, join_timeout: float = 2.0) -> None:
+        """Kill the workers but keep the shared-memory segments alive.
+
+        This is the supervisor's retirement path: the frozen epochs this
+        pool published must stay attachable (for redispatch on a
+        replacement pool or parent-side recovery), so only the processes
+        and queues are torn down here.  :meth:`close` later unlinks the
+        segments.  Idempotent.
+        """
+        if self._terminated or self._closed:
             return
-        self._closed = True
-        for _ in self._workers:
-            try:
-                self._task_queue.put(None)
-            except Exception:  # pragma: no cover - queue already torn down
-                break
+        self._terminated = True
+        self._broken = True
         for proc in self._workers:
-            proc.join(timeout=join_timeout)
             if proc.is_alive():
                 proc.terminate()
-                proc.join(timeout=join_timeout)
+        for proc in self._workers:
+            proc.join(timeout=join_timeout)
         for q in (self._task_queue, self._result_queue):
             try:
                 q.close()
                 q.cancel_join_thread()
             except Exception:  # pragma: no cover - queue already torn down
                 pass
+
+    def close(self, join_timeout: float = 2.0) -> None:
+        """Shut the workers down and unlink the shared-memory segment."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._terminated:
+            for _ in self._workers:
+                try:
+                    self._task_queue.put(None)
+                except Exception:  # pragma: no cover - queue already torn down
+                    break
+            for proc in self._workers:
+                proc.join(timeout=join_timeout)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=join_timeout)
+            for q in (self._task_queue, self._result_queue):
+                try:
+                    q.close()
+                    q.cancel_join_thread()
+                except Exception:  # pragma: no cover - queue already torn down
+                    pass
         self._writer.close()
 
 

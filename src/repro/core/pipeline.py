@@ -38,11 +38,16 @@ Two execution modes
     position, which trivially preserves ordering.
 
 If the pool breaks mid-pipeline the already-dispatched epochs are
-recovered *parent-side*: the coordinator attaches to its own published
-segments (which are frozen and still alive until the pool closes) and
-re-enumerates the dispatched units serially over the exact epoch the
-workers were reading.  The live graph may have moved on by then; the
-recovery path never touches it.
+recovered from their *frozen* published segments, which outlive the
+broken pool (the supervisor terminates it without unlinking them).
+Preferably the host's supervisor provides a replacement pool and the
+epochs are **redispatched**: the new workers attach to the frozen
+segments by name and re-run exactly the same units.  When no
+replacement is available (retry budget exhausted, or supervision is
+off) the coordinator attaches to the segments itself and re-enumerates
+the dispatched units serially.  Either way the live graph — which may
+already carry later batches' mutations — is never touched, so the
+results stay bit-identical to a fault-free run.
 """
 
 from __future__ import annotations
@@ -62,7 +67,7 @@ from repro.core.parallel import (
     _run_threads,
     run_enumeration,
 )
-from repro.core.shared_snapshot import SnapshotAttachment, disable_shm_resource_tracking
+from repro.core.shared_snapshot import SnapshotAttachment
 from repro.utils.validation import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -101,8 +106,31 @@ class PipelineHost(Protocol):
         """
         ...
 
-    def pipeline_pool_broken(self) -> None:
-        """The pool failed: release/close it (in-flight epochs already recovered)."""
+    def pipeline_pool_broken(self) -> "SharedMemoryPool | None":
+        """The pool failed: retire it and return a replacement, or None.
+
+        Hosts with a :class:`~repro.core.supervisor.PoolSupervisor` route
+        this to :meth:`~repro.core.supervisor.PoolSupervisor.replace`,
+        which terminates the broken pool (keeping its frozen segments
+        alive for redispatch) and respawns under the retry budget.
+        Returning None means no replacement: the pipeline recovers the
+        in-flight epochs parent-side and stops using the pool.
+        """
+        ...
+
+    def pipeline_degraded_backend(self) -> str | None:
+        """None while healthy, else the degradation-ladder rung to run on
+        (``"thread"`` or ``"serial"``)."""
+        ...
+
+    def pipeline_recovery_finished(self, redispatched: int, recovered: int) -> None:
+        """Recovery accounting: epochs redispatched to a replacement pool
+        vs recovered parent-side."""
+        ...
+
+    def pipeline_thread_backend_failed(self) -> None:
+        """The degraded thread backend also faulted; the host should step
+        down to serial."""
         ...
 
     def pipeline_make_context(
@@ -501,31 +529,33 @@ class BatchPipeline:
             # and report the same failure a second time.
             if pool.usable:
                 try:
-                    if overlap:
-                        dispatched_at = time.perf_counter()
-                        handle = pool.dispatch(contexts, units, collect=collect)
-                        self.pool_enumeration_phases += 1
-                        self._pending.append(
-                            _PendingPhase(
-                                phase=phase,
-                                contexts=contexts,
-                                units=units,
-                                pool=pool,
-                                handle=handle,
-                                slots=dict(slots),
-                                dispatched_at=dispatched_at,
-                            )
-                        )
-                        return
-                    start = time.perf_counter()
+                    dispatched_at = time.perf_counter()
+                    handle = pool.dispatch(contexts, units, collect=collect)
                     self.pool_enumeration_phases += 1
-                    outcomes = pool.run_multi(contexts, units, collect=collect)
-                    self._complete_phase(
-                        phase, contexts, outcomes, wall=time.perf_counter() - start
+                    self._pending.append(
+                        _PendingPhase(
+                            phase=phase,
+                            contexts=contexts,
+                            units=units,
+                            pool=pool,
+                            handle=handle,
+                            slots=dict(slots),
+                            dispatched_at=dispatched_at,
+                        )
                     )
+                    if overlap:
+                        return
+                    # Inline (serial-mode) execution goes through the same
+                    # dispatch/drain pair as the overlap path so a pool
+                    # fault here benefits from the identical
+                    # redispatch-from-frozen-segments recovery.
+                    while not phase.complete and self._pending:
+                        self._drain_oldest()
                     return
                 except PoolBrokenError as exc:
                     self._handle_pool_broken(exc)
+                    if phase.complete:
+                        return
         elif pool_ok:
             # A healthy pool but a phase too small to amortise a snapshot
             # publication: run serially, as both engines always have — the
@@ -549,20 +579,65 @@ class BatchPipeline:
         contexts: "dict[int, EnumerationContext]",
         units: "dict[int, list[WorkUnit]]",
     ) -> dict[int, EnumerationOutcome]:
-        """Run a phase without the shared pool (serial/thread/legacy fork)."""
+        """Run a phase without the shared pool (serial/thread/legacy fork).
+
+        A host that degraded down the supervision ladder pins the
+        backend: ``"thread"`` after the pool respawn budget ran out,
+        ``"serial"`` after the thread backend faulted too.  Otherwise the
+        host's configured fallback applies.
+        """
         parallel = self.host.config.parallel
         collect = self.host.config.collect_embeddings
+        degraded = getattr(self.host, "pipeline_degraded_backend", lambda: None)()
         outcomes: dict[int, EnumerationOutcome] = {}
         for qid, context in contexts.items():
-            if self._fallback == "fork":
+            if degraded == "serial":
+                outcomes[qid] = _run_serial(context, units[qid])
+            elif degraded == "thread":
+                outcomes[qid] = self._run_threads_guarded(
+                    context, units[qid], max(parallel.num_workers, 2)
+                )
+            elif self._fallback == "fork":
                 outcomes[qid] = run_enumeration(
                     context, units[qid], parallel, pool=None, collect=collect
                 )
             elif parallel.backend == "thread" and parallel.num_workers > 1:
-                outcomes[qid] = _run_threads(context, units[qid], parallel.num_workers)
+                outcomes[qid] = self._run_threads_guarded(
+                    context, units[qid], parallel.num_workers
+                )
             else:
                 outcomes[qid] = _run_serial(context, units[qid])
         return outcomes
+
+    def _run_threads_guarded(
+        self,
+        context: "EnumerationContext",
+        units: "list[WorkUnit]",
+        num_workers: int,
+    ) -> EnumerationOutcome:
+        """Thread-backend enumeration that degrades to serial on a fault.
+
+        The context-side counters mutate as units enumerate, so a failed
+        thread run must roll them back before the serial re-run — else
+        the surviving threads' partial work would be double-counted.
+        """
+        scanned_before = context.candidates_scanned
+        found_before = context.embeddings_found
+        try:
+            return _run_threads(context, units, num_workers)
+        except Exception as exc:
+            context.candidates_scanned = scanned_before
+            context.embeddings_found = found_before
+            notify = getattr(self.host, "pipeline_thread_backend_failed", None)
+            if notify is not None:
+                notify()
+            warnings.warn(
+                f"thread-backend enumeration failed ({exc}); this phase "
+                "re-ran serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return _run_serial(context, units)
 
     def _complete_phase(
         self,
@@ -578,10 +653,17 @@ class BatchPipeline:
             query_phase.candidates_scanned = contexts[qid].candidates_scanned
 
     # ------------------------------------------------------------------ draining & recovery
+    def _epoch_deadline(self) -> float | None:
+        """Per-epoch drain deadline from the host's fault policy, if any."""
+        policy = getattr(self.host.config, "fault", None)
+        return None if policy is None else policy.epoch_deadline_seconds
+
     def _drain_oldest(self) -> None:
         pending = self._pending.popleft()
         try:
-            drained = pending.pool.drain(pending.handle)
+            drained = pending.pool.drain(
+                pending.handle, deadline_seconds=self._epoch_deadline()
+            )
             outcomes = drained.outcomes
         except PoolBrokenError as exc:
             self._pending.appendleft(pending)
@@ -595,36 +677,72 @@ class BatchPipeline:
         )
 
     def _handle_pool_broken(self, exc: PoolBrokenError) -> None:
-        """Recover every dispatched epoch parent-side, then drop the pool.
+        """Recover every dispatched epoch, preferring redispatch over serial.
 
         The live graph may already carry later batches' mutations, so
         the in-flight phases are re-enumerated against their *published*
-        epochs: the coordinator attaches to its own frozen segments
-        (still alive — the pool is not closed until after recovery) and
-        runs the dispatched units serially.  Results stay bit-identical
-        to what the workers would have produced.
+        epochs, whose frozen segments outlive the broken pool.  The host
+        is asked for a replacement pool (supervised hosts respawn under
+        their retry budget); epochs are redispatched onto it by adopting
+        their frozen descriptors.  Phases left without a replacement are
+        recovered parent-side: the coordinator attaches to the segments
+        itself and runs the dispatched units serially.  Both paths are
+        bit-identical to what the dead workers would have produced.
         """
+        collect = self.host.config.collect_embeddings
         pending, self._pending = list(self._pending), deque()
+        redispatched = 0
+        recovered = 0
+        replacement = self.host.pipeline_pool_broken()
+        while pending and replacement is not None:
+            item = pending[0]
+            try:
+                epoch_id = replacement.adopt(item.handle, item.contexts, collect=collect)
+                drained = replacement.drain(
+                    epoch_id, deadline_seconds=self._epoch_deadline()
+                )
+            except PoolBrokenError as follow_up:
+                # The replacement broke too (crash loop): retire it and
+                # ask for another; the budget bounds how long this lasts.
+                exc = follow_up
+                replacement = self.host.pipeline_pool_broken()
+                continue
+            pending.pop(0)
+            redispatched += 1
+            self._complete_phase(
+                item.phase,
+                item.contexts,
+                drained.outcomes,
+                wall=time.perf_counter() - item.dispatched_at,
+            )
         for item in pending:
             outcomes = self._recover_phase(item)
+            recovered += 1
             self._complete_phase(
                 item.phase,
                 item.contexts,
                 outcomes,
                 wall=time.perf_counter() - item.dispatched_at,
             )
-        self.host.pipeline_pool_broken()
-        warnings.warn(
-            f"shared-memory pool failed mid-run ({exc}); in-flight epochs were "
-            "recovered from their published snapshots and enumeration falls "
-            "back to the non-pool path",
-            RuntimeWarning,
-            stacklevel=3,
-        )
+        notify = getattr(self.host, "pipeline_recovery_finished", None)
+        if notify is not None:
+            notify(redispatched, recovered)
+        if replacement is None:
+            warnings.warn(
+                f"shared-memory pool failed mid-run ({exc}); in-flight epochs "
+                "were recovered from their published snapshots and enumeration "
+                "falls back to the non-pool path",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def _recover_phase(self, pending: _PendingPhase) -> dict[int, EnumerationOutcome]:
         """Serially re-enumerate one dispatched epoch from its frozen snapshot."""
-        disable_shm_resource_tracking()
+        # This runs in the pool's parent, which owns the segment it is
+        # about to attach to.  No tracker suppression is needed (or safe)
+        # here: the attach-time re-register is an idempotent set-add in
+        # the resource tracker's cache, balanced by the writer's real
+        # unlink when the pool closes.
         attachment = SnapshotAttachment()
         descriptor = pending.handle.descriptor
         try:

@@ -46,6 +46,7 @@ from repro.core.parallel import (
     PoolOwnerMixin,
     SharedMemoryPool,
 )
+from repro.core.supervisor import PoolSupervisor
 from repro.graph.adjacency import DynamicGraph
 from repro.query.masking import MaskTable
 from repro.query.matching_order import MatchingOrder, build_matching_orders
@@ -414,6 +415,15 @@ class MultiQueryEngine(PoolOwnerMixin):
         self._pool_version = -1
         self._exports_before_pool = 0
         self._closed = False
+        # Fault supervision: the factory respawns a pool over the *current*
+        # registry membership (respawn after a fault serves the same queries
+        # the broken pool did — membership changes go through _ensure_pool).
+        self._supervisor = PoolSupervisor(
+            self.config.fault,
+            lambda: SharedMemoryPool.create_multi(
+                self.registry.query_states(), self.config.parallel
+            ),
+        )
         #: per-batch footprints captured at mutation time (see engine hook)
         self._footprints: dict[int, tuple[int, int, dict[int, int]]] = {}
         self._pipeline = BatchPipeline(
@@ -488,9 +498,17 @@ class MultiQueryEngine(PoolOwnerMixin):
     # ------------------------------------------------------------------ lifecycle
     @property
     def snapshot_exports(self) -> int:
-        """Total shared-memory snapshot publications over the engine lifetime."""
+        """Total shared-memory snapshot publications over the engine lifetime.
+
+        Includes pools the supervisor retired after faults, so the count
+        stays monotonic across respawns.
+        """
         current = self._pool.publish_count if self._pool is not None else 0
-        return self._exports_before_pool + current
+        return (
+            self._exports_before_pool
+            + self._supervisor.retired_publish_count
+            + current
+        )
 
     def close(self) -> None:
         """Release the worker pool (exception-safe and idempotent)."""
@@ -508,6 +526,7 @@ class MultiQueryEngine(PoolOwnerMixin):
         if pool is not None:
             self._exports_before_pool += pool.publish_count
             pool.close()
+        self._exports_before_pool += self._supervisor.release_retired()
 
     def __enter__(self) -> "MultiQueryEngine":
         return self
@@ -532,6 +551,10 @@ class MultiQueryEngine(PoolOwnerMixin):
             return None
         if len(self.registry) == 0:
             return None
+        if self._supervisor.degraded_backend() is not None:
+            # Fault-degraded engines stay off the process backend even
+            # across registry churn; the ladder is one-way per engine.
+            return None
         if self._pool_version == self.registry.version:
             # Same membership as the last attempt: reuse the pool, or stay on
             # the fallback path if that attempt failed or the pool broke —
@@ -543,7 +566,9 @@ class MultiQueryEngine(PoolOwnerMixin):
                 return None
             return pool
         self._release_pool()
-        pool = SharedMemoryPool.create_multi(self.registry.query_states(), parallel)
+        pool = self._supervisor.note_spawn(
+            SharedMemoryPool.create_multi(self.registry.query_states(), parallel)
+        )
         self._adopt_pool(pool)
         self._pool_version = self.registry.version
         return pool
@@ -632,8 +657,30 @@ class MultiQueryEngine(PoolOwnerMixin):
             pipeline.flush()
         return self._ensure_pool()
 
-    def pipeline_pool_broken(self) -> None:
-        self._release_pool()
+    def pipeline_pool_broken(self) -> SharedMemoryPool | None:
+        # Retire the broken pool (workers killed, frozen segments kept for
+        # redispatch) and respawn under the supervisor's budget.  The pool
+        # version is left alone: on respawn the replacement serves the same
+        # membership; on budget exhaustion the stale version plus the
+        # degraded level keep _ensure_pool from a respawn storm.
+        replacement = self._supervisor.replace(self._detach_pool())
+        return self._adopt_pool(replacement)
+
+    def pipeline_degraded_backend(self) -> str | None:
+        return self._supervisor.degraded_backend()
+
+    def pipeline_recovery_finished(self, redispatched: int, recovered: int) -> None:
+        self._supervisor.note_recovery(redispatched, recovered)
+        self._exports_before_pool += self._supervisor.release_retired()
+
+    def pipeline_thread_backend_failed(self) -> None:
+        self._supervisor.thread_backend_failed()
+
+    def fault_stats(self) -> dict[str, object]:
+        """Supervision counters: faults, respawns, degradations, level."""
+        stats = self._supervisor.stats.as_dict()
+        stats["level"] = self._supervisor.level
+        return stats
 
     def pipeline_make_context(
         self,
@@ -717,6 +764,7 @@ class MultiQueryEngine(PoolOwnerMixin):
                 result.candidates_scanned += query_phase.candidates_scanned
                 result.enumerate_seconds += self._attributable_seconds(outcome)
                 result.enumeration_outcomes.append(outcome)
+                self._supervisor.record_outcome(outcome)
                 if phase.positive:
                     result.num_positive += outcome.num_embeddings
                     if collect:

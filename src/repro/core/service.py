@@ -65,6 +65,12 @@ class MnemonicService:
     clock:
         Arrival/latency time source; defaults to the wall clock, tests
         pass a :class:`~repro.streams.clock.VirtualClock`.
+    overload:
+        The broker's full-buffer policy: ``"block"`` (default,
+        backpressure), ``"shed-oldest"`` (drop the stalest buffered
+        event) or ``"reject"`` (refuse the submit with
+        :class:`~repro.streams.broker.BrokerOverloadError`).  Shed and
+        reject counts surface through :meth:`stats`.
     """
 
     def __init__(
@@ -72,6 +78,7 @@ class MnemonicService:
         engine: "MnemonicEngine | MultiQueryEngine",
         capacity: int = 8192,
         clock: Clock | None = None,
+        overload: str = "block",
     ) -> None:
         stream_config = engine.config.stream
         if stream_config.stream_type is StreamType.SLIDING_WINDOW:
@@ -80,7 +87,7 @@ class MnemonicService:
                 "sliding-window replay should go through engine.run()"
             )
         self.engine = engine
-        self.broker = StreamBroker(capacity=capacity, clock=clock)
+        self.broker = StreamBroker(capacity=capacity, clock=clock, overload=overload)
         self.clock: Clock = self.broker.clock
         self._batcher = SnapshotBatcher(stream_config, self._next_number)
         self._number = 0
@@ -233,10 +240,22 @@ class MnemonicService:
         return self.broker.watermark
 
     def stats(self) -> dict[str, float]:
-        """Broker ingest counters plus batcher state, for dashboards."""
+        """Broker ingest counters plus batcher and fault-supervision state.
+
+        Fault counters (``fault_*``) come from the engine's pool
+        supervisor: respawns, degradation-ladder level, recovered and
+        redispatched epochs — the dashboard view of self-healing.
+        """
         stats = self.broker.stats()
         stats["open_batch_events"] = self._batcher.pending_events
         stats["snapshots_processed"] = self._number
+        fault_stats = getattr(self.engine, "fault_stats", None)
+        if fault_stats is not None:
+            for key, value in fault_stats().items():
+                if key == "degradations":
+                    stats["fault_degradations"] = len(value)  # type: ignore[arg-type]
+                else:
+                    stats[f"fault_{key}"] = value  # type: ignore[assignment]
         return stats
 
     # ------------------------------------------------------------------ lifecycle

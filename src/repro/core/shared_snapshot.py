@@ -63,26 +63,52 @@ def shared_memory_available() -> bool:
     return True
 
 
+#: guards against re-wrapping the tracker functions on repeated calls
+_WORKER_TRACKING_DISABLED = False
+
+
 def disable_shm_resource_tracking() -> None:
-    """Stop this process's resource tracker from adopting attached segments.
+    """Make this process fully passive towards shared-memory segments.
 
-    Must be called once at worker start-up.  On Python < 3.13 every
-    ``SharedMemory`` attach registers the segment with the process's
-    resource tracker, which then "cleans it up" (unlinks it and warns)
-    when the worker exits — even though the parent still owns it.  The
-    parent remains the sole owner and unlinks segments itself.
+    Must be called once at *worker* start-up, and only in processes that
+    never own a segment.  On Python < 3.13 every ``SharedMemory`` attach
+    registers the segment with the process's resource tracker, which
+    then "cleans it up" (unlinks it and warns) when the worker exits —
+    even though the parent still owns it; so worker-side ``register``
+    and ``unregister`` are made shared-memory no-ops.
+
+    Worker-side ``unlink`` is also made a no-op: on Python < 3.12 a
+    failed ``mmap`` during *attach* unlinks the segment as "cleanup"
+    (the create-path error handling does not special-case attach),
+    which would destroy a live parent-owned segment and send the shared
+    resource tracker an unregister it never saw a register for.  A
+    worker that cannot attach reports the error through its result
+    queue; it must never take the segment down with it.
+
+    Never call this in the pool's parent: the parent owns the segments,
+    and a no-op ``unlink`` there would leak every ``/dev/shm`` file the
+    writers create.  The parent needs no tracker suppression at all —
+    re-registering its own segment on attach is an idempotent set-add
+    in the tracker's cache, balanced by the real ``unlink`` later.
     """
+    global _WORKER_TRACKING_DISABLED
+    if _WORKER_TRACKING_DISABLED:
+        return
     try:
-        from multiprocessing import resource_tracker
+        from multiprocessing import resource_tracker, shared_memory
 
-        original_register = resource_tracker.register
+        def shm_transparent(original):
+            def wrapped(name, rtype):  # pragma: no cover - runs in worker processes
+                if rtype == "shared_memory":
+                    return
+                original(name, rtype)
 
-        def register(name, rtype):  # pragma: no cover - runs in worker processes
-            if rtype == "shared_memory":
-                return
-            original_register(name, rtype)
+            return wrapped
 
-        resource_tracker.register = register
+        resource_tracker.register = shm_transparent(resource_tracker.register)
+        resource_tracker.unregister = shm_transparent(resource_tracker.unregister)
+        shared_memory.SharedMemory.unlink = lambda self: None  # type: ignore[method-assign]
+        _WORKER_TRACKING_DISABLED = True
     except Exception:  # pragma: no cover - tracker layout changed
         pass
 
@@ -239,7 +265,10 @@ class SnapshotAttachment:
 
     def __init__(self) -> None:
         self._segments: dict[str, "SharedMemory"] = {}
-        self._epoch: int | None = None
+        #: cache key is (segment name, epoch): epoch numbers restart per
+        #: writer, so after a pool respawn an adopted epoch from the
+        #: retired writer may share a number with one from the new writer.
+        self._cached_key: tuple[str, int] | None = None
         self._views: tuple | None = None
 
     def _segment(self, name: str) -> "SharedMemory":
@@ -267,7 +296,8 @@ class SnapshotAttachment:
         back (single-query engines), or a ``query_id -> tree`` mapping to
         get a ``query_id -> DEBI`` mapping (multi-query pool workers).
         """
-        if descriptor["epoch"] == self._epoch and self._views is not None:
+        cache_key = (descriptor["name"], descriptor["epoch"])
+        if cache_key == self._cached_key and self._views is not None:
             return self._views
         from repro.core.debi import DEBI
         from repro.graph.adjacency import CSRGraphView, CSRSnapshot
@@ -314,7 +344,7 @@ class SnapshotAttachment:
                 root_bits=meta["root_bits"],
             )
         batch_edge_ids = set(arrays["batch_edges"].tolist())
-        self._epoch = descriptor["epoch"]
+        self._cached_key = cache_key
         self._views = (
             graph_view,
             next(iter(debis.values())) if single and debis else debis,
@@ -325,7 +355,7 @@ class SnapshotAttachment:
     def detach(self) -> None:
         """Drop the cached views and close every segment mapping."""
         self._views = None
-        self._epoch = None
+        self._cached_key = None
         segments, self._segments = self._segments, {}
         for shm in segments.values():
             try:

@@ -42,11 +42,19 @@ from typing import Iterator
 from repro.streams.clock import Clock, WallClock
 from repro.streams.events import StreamEvent
 from repro.streams.sources import StreamSource
-from repro.utils.validation import ReproError, check_positive
+from repro.utils.validation import ReproError, check_in, check_positive
 
 
 class BrokerClosedError(ReproError):
     """Raised when putting into a broker that has been closed or stopped."""
+
+
+class BrokerOverloadError(ReproError):
+    """Raised by :meth:`StreamBroker.put` under the ``reject`` overload policy."""
+
+
+#: how a full broker treats an incoming event (see :class:`StreamBroker`)
+OVERLOAD_POLICIES = ("block", "shed-oldest", "reject")
 
 
 class _Timeout:
@@ -73,9 +81,19 @@ class StreamBroker:
         that iterates it and :meth:`put`\\ s every event, blocking on
         backpressure.  Without a source the broker runs in push mode.
     capacity:
-        Ring-buffer bound; :meth:`put` blocks while the buffer is full.
+        Ring-buffer bound; what happens when it is reached is decided by
+        ``overload``.
     clock:
         Arrival-stamp time source (defaults to :class:`WallClock`).
+    overload:
+        Full-buffer policy.  ``"block"`` (default) applies backpressure:
+        the producer waits for space.  ``"shed-oldest"`` drops the oldest
+        *buffered* event to make room — bounded staleness for sources
+        where the newest data matters most (counted in
+        :attr:`shed_events`).  ``"reject"`` refuses the incoming event
+        with :class:`BrokerOverloadError` — load shedding at the door,
+        the policy a network front door maps to 429s (counted in
+        :attr:`rejected_puts`).
     """
 
     def __init__(
@@ -83,9 +101,12 @@ class StreamBroker:
         source: StreamSource | None = None,
         capacity: int = 4096,
         clock: Clock | None = None,
+        overload: str = "block",
     ) -> None:
         check_positive(capacity, "capacity")
+        check_in(overload, OVERLOAD_POLICIES, "overload")
         self.capacity = capacity
+        self.overload = overload
         self.clock: Clock = clock or WallClock()
         self._source = source
         self._thread: threading.Thread | None = None
@@ -101,6 +122,10 @@ class StreamBroker:
         self.dequeued = 0
         #: put() calls that had to wait for space at least once (backpressure)
         self.blocked_puts = 0
+        #: buffered events dropped by the "shed-oldest" overload policy
+        self.shed_events = 0
+        #: incoming events refused by the "reject" overload policy
+        self.rejected_puts = 0
         self.max_depth = 0
 
     # ------------------------------------------------------------------ producer side
@@ -118,7 +143,21 @@ class StreamBroker:
         """
         with self._not_full:
             if len(self._buffer) >= self.capacity and not self._closed:
-                self.blocked_puts += 1
+                if self.overload == "reject":
+                    self.rejected_puts += 1
+                    raise BrokerOverloadError(
+                        f"broker buffer full ({self.capacity} events); "
+                        "event rejected by the 'reject' overload policy"
+                    )
+                if self.overload == "shed-oldest":
+                    # Make room by dropping the oldest *buffered* event:
+                    # the producer never stalls, at the cost of losing the
+                    # stalest data.  The ledger invariant becomes
+                    # ``enqueued - dequeued - shed_events == depth``.
+                    self._buffer.popleft()
+                    self.shed_events += 1
+                else:
+                    self.blocked_puts += 1
             deadline = None if timeout is None else self.clock.now() + timeout
             while len(self._buffer) >= self.capacity and not self._closed:
                 remaining = None if deadline is None else deadline - self.clock.now()
@@ -247,6 +286,8 @@ class StreamBroker:
                 "depth": len(self._buffer),
                 "max_depth": self.max_depth,
                 "blocked_puts": self.blocked_puts,
+                "shed_events": self.shed_events,
+                "rejected_puts": self.rejected_puts,
                 "watermark": self.watermark,
             }
 

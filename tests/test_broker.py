@@ -4,7 +4,12 @@ import threading
 
 import pytest
 
-from repro.streams.broker import POLL_TIMEOUT, BrokerClosedError, StreamBroker
+from repro.streams.broker import (
+    POLL_TIMEOUT,
+    BrokerClosedError,
+    BrokerOverloadError,
+    StreamBroker,
+)
 from repro.streams.clock import VirtualClock, WallClock
 from repro.streams.config import StreamConfig, StreamType
 from repro.streams.events import StreamEvent
@@ -129,6 +134,114 @@ class TestBrokerBackpressure:
         event, _ = broker.poll(None)
         assert event.src == 0
         assert broker.poll(None) is None
+
+
+class TestBrokerCloseRaces:
+    """put()/close() interleavings must resolve deterministically."""
+
+    def test_put_after_close_always_raises(self):
+        # Empty, partially full and completely full buffers: a put that
+        # starts after close() must raise, never enqueue or block.
+        for preload in (0, 1, 2):
+            broker = StreamBroker(capacity=2)
+            for i in range(preload):
+                broker.put(_insert(i))
+            broker.close()
+            with pytest.raises(BrokerClosedError):
+                broker.put(_insert(99))
+            assert broker.enqueued == preload
+            assert broker.depth == preload
+
+    def test_close_wakes_blocked_producer_into_closed_error(self):
+        broker = StreamBroker(capacity=1)
+        broker.put(_insert(0))
+        outcome: list = []
+
+        def producer():
+            try:
+                broker.put(_insert(1))
+                outcome.append("enqueued")
+            except BrokerClosedError:
+                outcome.append("closed")
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        while broker.blocked_puts == 0:  # producer is parked on backpressure
+            pass
+        broker.close()
+        thread.join(2.0)
+        assert outcome == ["closed"]
+        # The blocked event was refused: the ledger never saw it.
+        assert broker.enqueued == 1
+        assert broker.depth == 1
+
+    def test_counters_consistent_when_consumer_stops_mid_backpressure(self):
+        """A consumer abandoning the queue must leave blocked_puts /
+        max_depth / depth telling one coherent story."""
+        broker = StreamBroker(capacity=2)
+        broker.put(_insert(0))
+        broker.put(_insert(1))
+        consumed, _ = broker.poll(None)  # consumer takes one event...
+        assert consumed.src == 0
+        parked = threading.Event()
+
+        def producer():
+            parked.set()
+            broker.put(_insert(2))  # refills the freed slot
+            try:
+                broker.put(_insert(3), timeout=0.2)  # ...then stops consuming
+            except TimeoutError:
+                pass
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert parked.wait(2.0)
+        thread.join(5.0)
+        assert not thread.is_alive()
+        stats = broker.stats()
+        assert stats["enqueued"] == 3
+        assert stats["dequeued"] == 1
+        assert stats["depth"] == 2  # == enqueued - dequeued: nothing lost
+        assert stats["max_depth"] == 2  # never exceeded capacity
+        assert stats["blocked_puts"] == 1  # only the timed-out put waited
+
+
+class TestBrokerOverloadPolicies:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamBroker(capacity=4, overload="drop-newest")
+
+    def test_shed_oldest_drops_stalest_and_keeps_ledger_invariant(self):
+        broker = StreamBroker(capacity=3, overload="shed-oldest")
+        for i in range(5):
+            broker.put(_insert(i))  # never blocks
+        stats = broker.stats()
+        assert stats["shed_events"] == 2
+        assert stats["blocked_puts"] == 0
+        # Shed events were enqueued but neither dequeued nor buffered:
+        # enqueued - dequeued - shed_events == depth.
+        assert stats["enqueued"] - stats["dequeued"] - stats["shed_events"] == stats["depth"]
+        broker.close()
+        assert [e.src for e in broker] == [2, 3, 4]  # newest survive
+
+    def test_reject_refuses_at_the_door(self):
+        broker = StreamBroker(capacity=2, overload="reject")
+        broker.put(_insert(0))
+        broker.put(_insert(1))
+        with pytest.raises(BrokerOverloadError):
+            broker.put(_insert(2))
+        stats = broker.stats()
+        assert stats["rejected_puts"] == 1
+        assert stats["enqueued"] == 2
+        assert stats["depth"] == 2
+        # Overload is transient: space freed by the consumer re-admits.
+        broker.poll(None)
+        broker.put(_insert(3))
+        broker.close()
+        assert [e.src for e in broker] == [1, 3]
+
+    def test_block_is_default_policy(self):
+        assert StreamBroker(capacity=1).overload == "block"
 
 
 class TestBrokerPullMode:
