@@ -17,6 +17,14 @@ sets must be identical to the independent runs, and the process-backend
 pass must publish exactly one shared-memory snapshot per enumeration
 phase (instead of one per query per batch).
 
+The ``kernel_parity`` gate protects the columnar enumeration kernel: on
+the fig06 insert-only stream and a fig08-style insert+delete stream, the
+arena-backed kernel (``EngineConfig(kernel="columnar")``) must produce
+positive and negative identity sets bit-identical to the tuple-at-a-time
+reference (``kernel="python"``), under both the serial and the process
+backend, and the serial runs must agree on ``candidates_scanned`` to the
+digit (the kernel batches the same scans, it must not add or skip any).
+
 The ``pipeline_parity`` gate protects the pipelined execution mode: on
 an insert+delete stream, ``pipeline="pipelined"`` must produce
 bit-identical positive *and* negative result sets to the serial mode,
@@ -92,7 +100,9 @@ REGRESSION_TOLERANCE = 0.20
 #: little with thread interleaving — the gate instead asserts the strong
 #: invariants directly (identity-set equality; broker rows must match the
 #: serial scan count *exactly*) every run.
-BASELINE_FIGURES = ("fig06", "fig08", "multi_query", "pipeline_parity")
+BASELINE_FIGURES = (
+    "fig06", "fig08", "multi_query", "pipeline_parity", "kernel_parity"
+)
 
 
 def build_workload():
@@ -155,6 +165,88 @@ def negative_identities(run_result) -> set:
         for snapshot in run_result.snapshots
         for e in snapshot.negative_embeddings
     }
+
+
+def run_kernel_parity(stream) -> tuple[dict, list[str]]:
+    """The columnar-kernel gate: arena kernel vs the tuple reference.
+
+    Two streams (fig06 insert-only; a fig08-style insert+delete mix) and
+    two backends (serial; process pool) per suite.  Every columnar run's
+    positive and negative identity sets must equal the ``kernel="python"``
+    reference bit-for-bit, and the serial runs must agree on
+    ``candidates_scanned`` exactly: the kernel batches the same candidate
+    fetches the tuple path performs one row at a time, so any drift means
+    a pruning predicate fired at the wrong point.
+    """
+    workload = build_query_workload(
+        stream, tree_sizes=(3, 6, 9), graph_sizes=(6,),
+        queries_per_suite=1, prefix=2000, seed=11,
+    )
+    prefix = len(stream) - FIG06_SUFFIX
+    suffix = stream[prefix:]
+    deletes = [
+        StreamEvent.delete(e.src, e.dst, e.label, timestamp=e.timestamp)
+        for e in suffix[::2]
+        if e.kind is EventKind.INSERT
+    ]
+    mixed = list(stream[:prefix]) + list(suffix) + deletes
+    streams = {
+        "insert": (list(stream), StreamType.INSERT_ONLY),
+        "mixed": (mixed, StreamType.INSERT_DELETE),
+    }
+    parallel = ParallelConfig(backend="process", num_workers=2, chunk_size=32)
+    failures: list[str] = []
+    metrics: dict[str, dict] = {}
+    for suite, query in workload:
+        for stream_name, (events, stream_type) in streams.items():
+            reference = run_mnemonic_stream(
+                query, events, initial_prefix=prefix, batch_size=FIG06_BATCH,
+                stream_type=stream_type, collect_embeddings=True,
+                kernel="python", query_name=suite,
+            )
+            ref_pos = positive_identities(reference.run_result)
+            ref_neg = negative_identities(reference.run_result)
+            if not ref_pos:
+                failures.append(
+                    f"kernel_parity/{suite}.{stream_name}: vacuous gate "
+                    "(reference produced no positive embeddings)"
+                )
+            for backend_name, kwargs in (
+                ("serial", {}),
+                ("process", {"parallel": parallel}),
+            ):
+                run = run_mnemonic_stream(
+                    query, events, initial_prefix=prefix, batch_size=FIG06_BATCH,
+                    stream_type=stream_type, collect_embeddings=True,
+                    kernel="columnar", query_name=suite, **kwargs,
+                )
+                label = f"kernel_parity/{suite}.{stream_name}.{backend_name}"
+                if positive_identities(run.run_result) != ref_pos:
+                    failures.append(
+                        f"{label}: positive results differ from the tuple reference"
+                    )
+                if negative_identities(run.run_result) != ref_neg:
+                    failures.append(
+                        f"{label}: negative results differ from the tuple reference"
+                    )
+                if (
+                    backend_name == "serial"
+                    and run.extra["candidates_scanned"]
+                    != reference.extra["candidates_scanned"]
+                ):
+                    failures.append(
+                        f"{label}: candidates_scanned diverged from the reference "
+                        f"({reference.extra['candidates_scanned']} -> "
+                        f"{run.extra['candidates_scanned']})"
+                    )
+                metrics[f"{suite}.{stream_name}.{backend_name}"] = {
+                    "seconds": run.seconds,
+                    "reference_seconds": reference.seconds,
+                    "candidates_scanned": run.extra["candidates_scanned"],
+                    "positive": run.embeddings,
+                    "negative": run.negative_embeddings,
+                }
+    return metrics, failures
 
 
 def run_pipeline_parity(stream) -> tuple[dict, list[str]]:
@@ -745,10 +837,12 @@ def main(argv: list[str] | None = None) -> int:
 
     stream, workload = build_workload()
     multi_metrics, sharing_failures = run_multi_query(stream)
+    kernel_metrics, kernel_failures = run_kernel_parity(stream)
     parity_metrics, parity_failures = run_pipeline_parity(stream)
     service_metrics, service_failures = run_service_parity(stream)
     durability_metrics, durability_failures = run_durability_parity(stream)
     healing_metrics, healing_failures = run_self_healing_parity(stream)
+    sharing_failures.extend(kernel_failures)
     sharing_failures.extend(parity_failures)
     sharing_failures.extend(service_failures)
     sharing_failures.extend(durability_failures)
@@ -757,6 +851,7 @@ def main(argv: list[str] | None = None) -> int:
         "fig06": run_fig06(stream, workload),
         "fig08": run_fig08(stream, workload),
         "multi_query": multi_metrics,
+        "kernel_parity": kernel_metrics,
         "pipeline_parity": parity_metrics,
         "service_parity": service_metrics,
         "durability_parity": durability_metrics,
@@ -774,7 +869,7 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     if sharing_failures:
-        print("multi-query sharing / pipeline / service / durability / "
+        print("multi-query sharing / kernel / pipeline / service / durability / "
               "self-healing parity gate FAILED:", file=sys.stderr)
         for line in sharing_failures:
             print(f"  {line}", file=sys.stderr)

@@ -1,0 +1,188 @@
+"""Perf trend job: wall-clock samples for the scheduled CI run.
+
+Runs a deliberately small suite — the fig06 T_9 row (the most
+enumeration-heavy suite) for both enumeration kernels, plus a fig13
+micro-sweep (kernel x backend x workers at a reduced suffix) — and
+records **wall-clock seconds** per row.  Unlike ``perf_smoke.py``, whose
+gate is the deterministic ``candidates_scanned`` counter, this job
+exists to watch the one thing that counter cannot: runtime drift.
+
+Wall-clock on shared runners is noisy, so nothing here ever fails a
+build.  The job instead
+
+* appends one JSON line per run to ``benchmarks/results/BENCH_trend.jsonl``
+  (uploaded as a CI artifact, so the scheduled runs accumulate a series),
+* writes the full sample to ``benchmarks/BENCH_trend.json``, and
+* emits a markdown delta table against the checked-in advisory baseline
+  (``benchmarks/perf_trend_baseline.json``) for the PR comment.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_trend.py [--markdown trend.md]
+    PYTHONPATH=src python benchmarks/perf_trend.py --write-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.bench.harness import run_mnemonic_stream
+from repro.core.parallel import ParallelConfig
+from repro.datasets import NetFlowConfig, build_query_workload, generate_netflow_stream
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+BASELINE_PATH = os.path.join(HERE, "perf_trend_baseline.json")
+OUTPUT_PATH = os.path.join(HERE, "BENCH_trend.json")
+TREND_PATH = os.path.join(HERE, "results", "BENCH_trend.jsonl")
+
+#: fig06 row: stream suffix and batch size, matching perf_smoke's fig06
+FIG06_SUFFIX = 500
+FIG06_BATCH = 256
+#: fig13 micro-sweep: smaller than the pytest benchmark so the scheduled
+#: job stays under a minute, but the same kernel x backend grid
+FIG13_SUFFIX = 400
+FIG13_WORKERS = (2, 4)
+
+KERNELS = ("columnar", "python")
+
+
+def build_workload():
+    """The netflow_workload fixture's exact configuration (see conftest.py)."""
+    stream = generate_netflow_stream(
+        NetFlowConfig(num_events=3000, num_hosts=450, attachment=0.65,
+                      repeat_probability=0.10, seed=101)
+    )
+    workload = build_query_workload(
+        stream, tree_sizes=(9,), graph_sizes=(),
+        queries_per_suite=1, prefix=2000, seed=11,
+    )
+    suite = workload.suite_names()[0]
+    return stream, suite, workload.queries(suite)[0]
+
+
+def run_fig06_t9(stream, suite, query) -> dict[str, dict]:
+    """The fig06 T_9 row, once per kernel, serial backend."""
+    prefix = len(stream) - FIG06_SUFFIX
+    rows = {}
+    for kernel in KERNELS:
+        run = run_mnemonic_stream(
+            query, stream, initial_prefix=prefix, batch_size=FIG06_BATCH,
+            kernel=kernel, query_name=suite,
+        )
+        rows[f"fig06/{suite}.{kernel}"] = {
+            "seconds": run.seconds,
+            "candidates_scanned": run.extra["candidates_scanned"],
+            "embeddings": run.embeddings,
+        }
+    return rows
+
+
+def run_fig13_micro(stream, suite, query) -> dict[str, dict]:
+    """A reduced fig13 grid: kernel x backend x workers, one large batch."""
+    prefix = len(stream) - FIG13_SUFFIX
+    rows = {}
+    for kernel in KERNELS:
+        serial = run_mnemonic_stream(
+            query, stream, initial_prefix=prefix, batch_size=FIG13_SUFFIX,
+            kernel=kernel, query_name=suite,
+        )
+        rows[f"fig13/{suite}.{kernel}.serial"] = {"seconds": serial.seconds}
+        for backend in ("thread", "process"):
+            for workers in FIG13_WORKERS:
+                run = run_mnemonic_stream(
+                    query, stream, initial_prefix=prefix, batch_size=FIG13_SUFFIX,
+                    kernel=kernel, query_name=suite,
+                    parallel=ParallelConfig(backend=backend, num_workers=workers,
+                                            chunk_size=16),
+                )
+                rows[f"fig13/{suite}.{kernel}.{backend}@{workers}"] = {
+                    "seconds": run.seconds,
+                }
+    return rows
+
+
+def delta_table(current: dict[str, dict], baseline: dict[str, dict]) -> str:
+    """Markdown baseline-vs-current table (advisory, never gated)."""
+    lines = [
+        "### Perf trend (wall-clock, advisory)",
+        "",
+        "| benchmark | baseline (s) | current (s) | delta |",
+        "| --- | ---: | ---: | ---: |",
+    ]
+    for name in sorted(current):
+        now = current[name]["seconds"]
+        base = baseline.get(name, {}).get("seconds")
+        if base:
+            delta = f"{(now - base) / base:+.0%}"
+            base_cell = f"{base:.3f}"
+        else:
+            delta, base_cell = "n/a", "-"
+        lines.append(f"| `{name}` | {base_cell} | {now:.3f} | {delta} |")
+    lines += [
+        "",
+        "_Wall-clock on shared runners is noisy; this table is a trend "
+        "signal, not a gate. The blocking perf job gates on "
+        "`candidates_scanned` instead._",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="refresh benchmarks/perf_trend_baseline.json from this run",
+    )
+    parser.add_argument(
+        "--markdown", metavar="PATH",
+        help="write the baseline-vs-current delta table (markdown) to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    stream, suite, query = build_workload()
+    current: dict[str, dict] = {}
+    current.update(run_fig06_t9(stream, suite, query))
+    current.update(run_fig13_micro(stream, suite, query))
+
+    with open(OUTPUT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(current, fh, indent=2, sort_keys=True)
+    print(f"wrote {OUTPUT_PATH}")
+
+    os.makedirs(os.path.dirname(TREND_PATH), exist_ok=True)
+    sample = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "rows": {name: row["seconds"] for name, row in current.items()},
+    }
+    with open(TREND_PATH, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(sample, sort_keys=True) + "\n")
+    print(f"appended {TREND_PATH}")
+
+    if args.write_baseline:
+        with open(BASELINE_PATH, "w", encoding="utf-8") as fh:
+            json.dump(current, fh, indent=2, sort_keys=True)
+        print(f"wrote {BASELINE_PATH}")
+        return 0
+
+    baseline: dict[str, dict] = {}
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    else:
+        print(f"no baseline at {BASELINE_PATH}; deltas reported as n/a",
+              file=sys.stderr)
+
+    table = delta_table(current, baseline)
+    print(table)
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+        print(f"wrote {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

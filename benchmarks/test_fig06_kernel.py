@@ -1,0 +1,79 @@
+"""Figure 6 kernel gate: columnar vs reference single-thread wall-clock.
+
+The columnar kernel's reason to exist is the single-thread fig06 T_9 row
+— the suite where per-tuple Python overhead dominates and the arena's
+batched extend/intersect pays off hardest.  This benchmark measures both
+kernels best-of-N on the same host and **asserts the ≥3x floor** on T_9
+(measured ~4-5x; the floor keeps headroom for loaded runners).  The
+other suites are reported for context but not gated: their enumeration
+trees are shallow enough that per-batch fixed costs dilute the win.
+
+Parity is not this benchmark's job — ``perf_smoke.py``'s
+``kernel_parity`` gate proves bit-identical results; this file only pins
+the speed claim so a future regression cannot quietly trade the win
+away while staying correct.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.bench.harness import run_mnemonic_stream
+from repro.bench.reporting import format_table
+
+SUFFIX = 500
+BATCH = 256
+ROUNDS = 3
+KERNELS = ("columnar", "python")
+
+#: single-thread T_9 floor (acceptance: >= 3x; measured ~4-5x)
+T9_SPEEDUP_FLOOR = 3.0
+
+
+def _best_of(rounds, fn):
+    return min(fn().seconds for _ in range(rounds))
+
+
+def _run(stream, workload):
+    prefix = len(stream) - SUFFIX
+    rows = []
+    speedups = {}
+    for suite in workload.suite_names():
+        query = workload.queries(suite)[0]
+        seconds = {}
+        for kernel in KERNELS:
+            seconds[kernel] = _best_of(
+                ROUNDS,
+                lambda kernel=kernel: run_mnemonic_stream(
+                    query, stream, initial_prefix=prefix, batch_size=BATCH,
+                    kernel=kernel, query_name=suite,
+                ),
+            )
+        speedups[suite] = seconds["python"] / seconds["columnar"]
+        rows.append([suite, seconds["python"], seconds["columnar"],
+                     speedups[suite]])
+    return rows, speedups
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_kernel_speedup(benchmark, netflow_workload):
+    stream, workload = netflow_workload
+    rows, speedups = benchmark.pedantic(
+        _run, args=(stream, workload), rounds=1, iterations=1
+    )
+    table = format_table(
+        f"Figure 6 - kernel single-thread wall-clock (best of {ROUNDS})",
+        ["suite", "python_s", "columnar_s", "speedup"],
+        rows,
+    )
+    write_result("fig06_kernel_speedup", table)
+
+    assert speedups["T_9"] >= T9_SPEEDUP_FLOOR, (
+        f"columnar kernel only {speedups['T_9']:.2f}x over the reference on "
+        f"T_9 (floor {T9_SPEEDUP_FLOOR}x): {speedups}"
+    )
+    # The shallow suites must at least not regress badly: the kernel is
+    # allowed to tie, not to lose half its speed to fixed batch costs.
+    for suite, ratio in speedups.items():
+        assert ratio > 0.5, f"columnar kernel regressed on {suite}: {ratio:.2f}x"

@@ -86,6 +86,7 @@ def run_mnemonic_stream(
     pipeline: str = "serial",
     storage: "StorageConfig | None" = None,
     fault: FaultPolicy | None = None,
+    kernel: str = "columnar",
     query_name: str = "query",
 ) -> BenchRun:
     """Run the Mnemonic engine over ``stream`` and time the streaming part.
@@ -116,6 +117,7 @@ def run_mnemonic_stream(
         pipeline=pipeline,
         storage=storage,
         fault=fault or FaultPolicy(),
+        kernel=kernel,
     )
     # Engine construction spawns the persistent worker pool (process
     # backend), so pool start-up is part of setup — not of the measured
@@ -174,6 +176,7 @@ def run_service_stream(
     clock: Clock | None = None,
     overload: str = "block",
     fault: FaultPolicy | None = None,
+    kernel: str = "columnar",
     query_name: str = "query",
 ) -> BenchRun:
     """Run the engine behind a :class:`~repro.streams.broker.StreamBroker`.
@@ -200,6 +203,7 @@ def run_service_stream(
         collect_embeddings=collect_embeddings,
         pipeline=pipeline,
         fault=fault or FaultPolicy(),
+        kernel=kernel,
     )
     engine = MnemonicEngine(query, match_def=match_def, config=config)
     try:
@@ -276,6 +280,7 @@ def run_multi_query_stream(
     parallel: ParallelConfig | None = None,
     collect_embeddings: bool = False,
     pipeline: str = "serial",
+    kernel: str = "columnar",
     query_names_unique: bool = True,
 ) -> MultiQueryBenchRun:
     """Run every query as a standing query of one shared multi-query engine.
@@ -292,6 +297,7 @@ def run_multi_query_stream(
         parallel=parallel or ParallelConfig(),
         collect_embeddings=collect_embeddings,
         pipeline=pipeline,
+        kernel=kernel,
     )
     with MultiQueryEngine(config=config) as engine:
         name_by_id = {

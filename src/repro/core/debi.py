@@ -82,6 +82,15 @@ class DEBI:
     def is_root(self, vertex: int) -> bool:
         return self._roots.get(vertex)
 
+    def roots_mask(self, vertices):
+        """Vectorized root test: bool mask over an int64 array of vertices.
+
+        The columnar enumeration kernel's counterpart of :meth:`is_root`,
+        answering the root-candidacy of a whole candidate column in one
+        word gather.
+        """
+        return self._roots.get_many(vertices)
+
     def root_count(self) -> int:
         return self._roots.count()
 

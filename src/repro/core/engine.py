@@ -64,12 +64,24 @@ class EngineConfig:
     recycle_edge_ids: bool = True
     #: keep embeddings in the per-snapshot results (disable to only count)
     collect_embeddings: bool = True
+    #: enumeration kernel: "columnar" runs the arena-backed batched kernel
+    #: (falls back per-batch when a custom MatchDefinition overrides the
+    #: enumerate/accept hooks); "python" forces the tuple-at-a-time
+    #: reference path
+    kernel: str = "columnar"
     #: durable state: journal + checkpoints + spillable DEBI (None = volatile)
     storage: StorageConfig | None = None
     #: how pool faults are handled: respawn budget, backoff, epoch deadline
     #: (the default policy performs no respawns — a broken pool degrades
     #: straight to the thread backend, the pre-supervisor behaviour)
     fault: FaultPolicy = field(default_factory=FaultPolicy)
+
+    def __post_init__(self) -> None:
+        if self.kernel not in ("columnar", "python"):
+            raise ConfigurationError(
+                f"unknown enumeration kernel {self.kernel!r}; "
+                "expected 'columnar' or 'python'"
+            )
 
 
 @dataclass
@@ -215,7 +227,7 @@ class MnemonicEngine(PoolOwnerMixin):
         self.runtime = build_query_runtime(
             query, match_def, self.graph,
             use_degree_filter=self.config.use_degree_filter, root=root,
-            rebuild_index=_recovered is None,
+            rebuild_index=_recovered is None, kernel=self.config.kernel,
         )
         self.query = query
         self.match_def = self.runtime.match_def

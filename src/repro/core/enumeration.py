@@ -30,6 +30,7 @@ from repro.query.masking import Mask, MaskTable
 from repro.query.matching_order import ExtensionStep, MatchingOrder
 from repro.query.query_graph import WILDCARD_LABEL, QueryGraph
 from repro.query.query_tree import QueryTree
+from repro.utils.validation import check_positive
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,8 @@ class EnumerationContext:
         spilled_edge_ids: set[int] | None = None,
         on_spilled_access: Callable[[int], None] | None = None,
         shared_pool_cache: dict | None = None,
+        kernel: str = "columnar",
+        arena: "EmbeddingArena | None" = None,
     ) -> None:
         self.query = query
         self.tree = tree
@@ -84,6 +87,12 @@ class EnumerationContext:
         self.degree_filter = degree_filter
         self.spilled_edge_ids = spilled_edge_ids or set()
         self.on_spilled_access = on_spilled_access
+        #: which enumeration kernel drives default match definitions:
+        #: "columnar" (arena-backed batched kernel) or "python" (the
+        #: per-tuple reference).  Custom enumerators always run as-is.
+        self.kernel = kernel
+        #: reusable column arena for the columnar kernel (None = transient)
+        self.arena = arena
         #: number of candidate edges inspected (enumeration-side traversal metric)
         self.candidates_scanned = 0
         #: number of embeddings produced across all units run on this context
@@ -106,6 +115,10 @@ class EnumerationContext:
         self._shared_pool_cache: dict | None = (
             None if on_spilled_access is not None else shared_pool_cache
         )
+        # Columnar-kernel caches: int64 array forms of the memoised pools
+        # and the batch id set (built lazily, only when the kernel runs).
+        self._array_memo: dict = {}
+        self._batch_ids_array: np.ndarray | None = None
 
     # ------------------------------------------------------------------ paper API
     def get_candidates(self, step: ExtensionStep, anchor_vertex: int) -> list[int]:
@@ -178,6 +191,40 @@ class EnumerationContext:
             memo[key] = result
         return result
 
+    def get_candidate_arrays(
+        self, step: ExtensionStep, anchor_vertex: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Array view of :meth:`get_candidates_with_endpoints` for the kernel.
+
+        Delegates the fetch (and thus all ``candidates_scanned``
+        accounting and memoisation) to the list-based path, then caches
+        the int64 array conversion per memo key so hot anchors convert
+        once per batch, not once per touching work unit.
+        """
+        label = step.edge_label
+        if not self._label_partitioned or label == WILDCARD_LABEL:
+            label = None
+        key = (anchor_vertex, step.anchor_is_src, step.debi_column, label)
+        cached = self._array_memo.get(key)
+        if cached is not None:
+            return cached
+        ids, verts = self.get_candidates_with_endpoints(step, anchor_vertex)
+        arrays = (
+            np.asarray(ids, dtype=np.int64),
+            np.asarray(verts, dtype=np.int64),
+        )
+        self._array_memo[key] = arrays
+        return arrays
+
+    def batch_ids_array(self) -> np.ndarray:
+        """The batch's edge ids as a sorted int64 array (cached per context)."""
+        arr = self._batch_ids_array
+        if arr is None:
+            arr = np.sort(np.fromiter(self.batch_edge_ids, dtype=np.int64,
+                                      count=len(self.batch_edge_ids)))
+            self._batch_ids_array = arr
+        return arr
+
     def verify_nte(
         self,
         query_edge_index: int,
@@ -192,9 +239,20 @@ class EnumerationContext:
         witness unless the match definition binds witnesses explicitly.
         """
         q_edge = self.query.edge(query_edge_index)
-        v_src = node_map[q_edge.src]
-        v_dst = node_map[q_edge.dst]
-        masked = mask.is_masked(query_edge_index)
+        return self.verify_witnesses(
+            q_edge, node_map[q_edge.src], node_map[q_edge.dst],
+            mask.is_masked(query_edge_index), used_edges,
+        )
+
+    def verify_witnesses(
+        self, q_edge, v_src: int, v_dst: int, masked: bool, used_edges: set[int]
+    ) -> list[int]:
+        """Endpoint-based core of :meth:`verify_nte`.
+
+        Split out so the columnar kernel can verify a constraint for one
+        arena row without materialising a ``node_map`` dict; scanning and
+        counting are byte-identical to the tuple path by construction.
+        """
         witnesses: list[int] = []
         for eid in self.graph.find_edges(v_src, v_dst):
             self.candidates_scanned += 1
@@ -315,6 +373,7 @@ class QueryState:
     use_degree_filter: bool = True
     out_requirements: dict = field(default_factory=dict)
     in_requirements: dict = field(default_factory=dict)
+    kernel: str = "columnar"
 
     @classmethod
     def build(
@@ -325,6 +384,7 @@ class QueryState:
         masks: MaskTable,
         match_def: MatchDefinition,
         use_degree_filter: bool,
+        kernel: str = "columnar",
     ) -> "QueryState":
         return cls(
             query=query,
@@ -335,6 +395,7 @@ class QueryState:
             use_degree_filter=use_degree_filter,
             out_requirements={u: query.out_label_requirement(u) for u in query.nodes()},
             in_requirements={u: query.in_label_requirement(u) for u in query.nodes()},
+            kernel=kernel,
         )
 
     def make_context(
@@ -344,6 +405,7 @@ class QueryState:
         batch_edge_ids: set[int],
         positive: bool,
         shared_pool_cache: dict | None = None,
+        arena: "EmbeddingArena | None" = None,
     ) -> EnumerationContext:
         """Build an array-view enumeration context for one published snapshot."""
         degree_filter = None
@@ -363,6 +425,8 @@ class QueryState:
             positive=positive,
             degree_filter=degree_filter,
             shared_pool_cache=shared_pool_cache,
+            kernel=self.kernel,
+            arena=arena,
         )
 
 
@@ -484,8 +548,441 @@ def backtracking_enumerate(context: EnumerationContext, unit: WorkUnit) -> Itera
 
 
 def enumerate_units(context: EnumerationContext, units: Iterable[WorkUnit]) -> list[Embedding]:
-    """Run every unit through the match definition's enumerator (serial helper)."""
+    """Run every unit through the configured kernel (serial helper)."""
+    unit_list = list(units)
+    if columnar_supported(context):
+        return columnar_enumerate(context, unit_list)[0]
     results: list[Embedding] = []
-    for unit in units:
+    for unit in unit_list:
         results.extend(context.match_def.enumerate(context, unit))
     return results
+
+
+# ---------------------------------------------------------------------- columnar kernel
+class EmbeddingArena:
+    """Preallocated, double-buffered int64 column blocks for partial embeddings.
+
+    The columnar kernel represents the live frontier of partial
+    embeddings as ``(depth, capacity)`` column blocks: row ``d`` of the
+    node block holds the data vertex bound to the ``d``-th query node of
+    the matching order, one column per live partial embedding.  Each
+    expansion step reads the *front* block and scatters survivors into
+    the *back* block (``np.take(..., out=...)`` — no per-step
+    allocation), then the buffers swap.  Capacity grows geometrically
+    and is kept across batches, so steady-state streaming does no
+    allocation at all in the extend loop.
+    """
+
+    __slots__ = (
+        "capacity", "grow_events", "batches_served", "high_water",
+        "_caps", "_nodes", "_edges", "_back", "_node_rows", "_edge_rows",
+    )
+
+    def __init__(self, capacity: int = 1024) -> None:
+        check_positive(capacity, "capacity")
+        self.capacity = capacity
+        #: geometric growths performed (property-test observability)
+        self.grow_events = 0
+        #: how many kernel invocations reused this arena
+        self.batches_served = 0
+        #: widest live block ever held
+        self.high_water = 0
+        self._caps = [capacity, capacity]
+        self._nodes: list[np.ndarray | None] = [None, None]
+        self._edges: list[np.ndarray | None] = [None, None]
+        self._back = 0
+        self._node_rows = 0
+        self._edge_rows = 0
+
+    def begin(self, node_rows: int, edge_rows: int) -> None:
+        """Size the slot dimension for one start-edge group (rows = bound slots)."""
+        self.batches_served += 1
+        if node_rows > self._node_rows or edge_rows > self._edge_rows:
+            self._node_rows = max(self._node_rows, node_rows)
+            self._edge_rows = max(self._edge_rows, edge_rows)
+            for i in (0, 1):
+                self._nodes[i] = np.empty((self._node_rows, self._caps[i]), dtype=np.int64)
+                self._edges[i] = np.empty((self._edge_rows, self._caps[i]), dtype=np.int64)
+
+    def reserve(self, rows: int) -> None:
+        """Grow the back buffer geometrically so it can hold ``rows`` columns."""
+        self.high_water = max(self.high_water, rows)
+        cap = self._caps[self._back]
+        if rows <= cap and self._nodes[self._back] is not None:
+            return
+        while cap < rows:
+            cap *= 2
+        if cap > self._caps[self._back]:
+            self.grow_events += 1
+        self._caps[self._back] = cap
+        self.capacity = max(self.capacity, cap)
+        self._nodes[self._back] = np.empty((self._node_rows, cap), dtype=np.int64)
+        self._edges[self._back] = np.empty((self._edge_rows, cap), dtype=np.int64)
+
+    def back(self) -> tuple[np.ndarray, np.ndarray]:
+        nodes = self._nodes[self._back]
+        edges = self._edges[self._back]
+        assert nodes is not None and edges is not None
+        return nodes, edges
+
+    def front(self) -> tuple[np.ndarray, np.ndarray]:
+        nodes = self._nodes[1 - self._back]
+        edges = self._edges[1 - self._back]
+        assert nodes is not None and edges is not None
+        return nodes, edges
+
+    def swap(self) -> None:
+        self._back = 1 - self._back
+
+
+def columnar_supported(context: EnumerationContext) -> bool:
+    """May the columnar kernel replace the tuple path for this context?
+
+    The kernel reproduces exactly the *default* enumerate/accept
+    semantics without witness binding; anything customised falls back to
+    the reference path.  Spill-notification contexts are excluded too:
+    their candidate fetches must fire per scan (the memo the kernel
+    leans on is disabled there).
+    """
+    match_def = context.match_def
+    return (
+        context.kernel == "columnar"
+        and type(match_def).enumerate is MatchDefinition.enumerate
+        and type(match_def).accept is MatchDefinition.accept
+        and not match_def.bind_witnesses
+        and context.on_spilled_access is None
+        and context._candidate_memo is not None
+    )
+
+
+def extend_intersect(
+    inv: np.ndarray,
+    order_idx: np.ndarray,
+    group_counts: np.ndarray,
+    pool_ids: list[np.ndarray],
+    pool_verts: list[np.ndarray],
+    pool_sizes: np.ndarray,
+    bound_nodes: np.ndarray,
+    bound_edges: np.ndarray,
+    batch_ids: np.ndarray,
+    masked: bool,
+    injective: bool,
+    root_mask_fn,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One batched extend/intersect step — the kernel seam.
+
+    Cross-joins the live embedding block against the per-anchor candidate
+    pools and applies every vectorizable predicate of the tuple path's
+    extend loop, in the same order: batch masking, edge injectivity,
+    vertex injectivity, root candidacy.  Contiguous arrays in, contiguous
+    arrays out — this single function boundary is where a numba/Cython
+    drop-in would slot, with only ``root_mask_fn`` (a word-gather over
+    the DEBI roots bit-vector) to inline.
+
+    Parameters are precomputed by the driver: ``inv`` maps each live
+    column to its unique-anchor group, ``order_idx`` sorts columns by
+    group, ``group_counts``/``pool_sizes`` describe the join shape, and
+    ``bound_nodes``/``bound_edges`` are the already-bound slot rows of
+    the front block (``(slots, n_live)``).
+
+    Returns ``(parents, cand_ids, cand_verts)`` for the surviving
+    extensions, where ``parents`` indexes columns of the front block.
+    """
+    # Parent column per joined row: columns sorted by anchor group, each
+    # repeated by its group's pool size; candidates tile group-wise.
+    parents = np.repeat(order_idx, pool_sizes[inv[order_idx]])
+    if parents.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    id_parts: list[np.ndarray] = []
+    vert_parts: list[np.ndarray] = []
+    for j in range(len(pool_sizes)):
+        if pool_sizes[j] and group_counts[j]:
+            id_parts.append(np.tile(pool_ids[j], group_counts[j]))
+            vert_parts.append(np.tile(pool_verts[j], group_counts[j]))
+    cand_ids = np.concatenate(id_parts)
+    cand_verts = np.concatenate(vert_parts)
+
+    keep = np.ones(cand_ids.shape[0], dtype=bool)
+    if masked and batch_ids.size:
+        keep &= ~np.isin(cand_ids, batch_ids)
+    if injective:
+        for row in bound_edges:
+            keep &= cand_ids != row[parents]
+        for row in bound_nodes:
+            keep &= cand_verts != row[parents]
+    if root_mask_fn is not None:
+        keep &= root_mask_fn(cand_verts)
+    surv = np.nonzero(keep)[0]
+    return parents[surv], cand_ids[surv], cand_verts[surv]
+
+
+def _columnar_run(
+    context: EnumerationContext,
+    units: list[WorkUnit],
+    emit,
+    arena: "EmbeddingArena | None" = None,
+) -> None:
+    """Drive the columnar kernel over ``units``, calling ``emit`` per group.
+
+    ``emit(start_edge, node_slots, edge_slots, nodes, edges, n)`` receives
+    the completed embeddings of one start-edge group as arena views:
+    ``nodes[i, :n]`` is the data vertex bound to query node
+    ``node_slots[i]``, likewise for edges.  Semantics — predicate order,
+    candidate fetches, verify scans, counter increments — mirror
+    :func:`backtracking_enumerate` exactly; only the iteration order of
+    the produced embeddings differs (breadth-first over the arena instead
+    of depth-first recursion).
+    """
+    query = context.query
+    graph = context.graph
+    match_def = context.match_def
+    injective = match_def.injective
+    root = context.tree.root
+    if arena is None:
+        arena = context.arena if context.arena is not None else EmbeddingArena(capacity=256)
+    batch_ids = context.batch_ids_array()
+
+    groups: dict[int, list[int]] = {}
+    for unit in units:
+        groups.setdefault(unit.start_edge, []).append(unit.edge_id)
+
+    for start_edge, edge_ids in groups.items():
+        order = context.orders[start_edge]
+        mask = context.masks.mask_for(start_edge)
+        q_start = query.edge(start_edge)
+        self_loop_query = q_start.src == q_start.dst
+
+        # -- start pinning: scalar per unit, identical to the tuple path
+        pinned_src: list[int] = []
+        pinned_dst: list[int] = []
+        pinned_eid: list[int] = []
+        for eid in edge_ids:
+            record = graph.edge(eid)
+            if not match_def.edge_matcher(query, graph, q_start, record):
+                continue
+            if injective and not self_loop_query and record.src == record.dst:
+                continue
+            if self_loop_query and record.src != record.dst:
+                continue
+            if mask.require_no_old_witness and context.has_non_batch_witness(
+                start_edge, record.src, record.dst, exclude_edge=record.edge_id
+            ):
+                continue
+            if not context.degree_ok(record.src, q_start.src):
+                continue
+            if not context.degree_ok(record.dst, q_start.dst):
+                continue
+            if order.start_verify_edges:
+                ok = True
+                for q_index in order.start_verify_edges:
+                    q_edge = query.edge(q_index)
+                    v_src = record.src if q_edge.src == q_start.src else record.dst
+                    v_dst = record.src if q_edge.dst == q_start.src else record.dst
+                    if not context.verify_witnesses(
+                        q_edge, v_src, v_dst, mask.is_masked(q_index), {eid}
+                    ):
+                        ok = False
+                        break
+                if not ok:
+                    continue
+            pinned_src.append(record.src)
+            pinned_dst.append(record.dst)
+            pinned_eid.append(eid)
+
+        n_live = len(pinned_eid)
+        if n_live == 0:
+            continue
+
+        node_slots = [q_start.src] if self_loop_query else [q_start.src, q_start.dst]
+        edge_slots = [start_edge] + [st.tree_edge_index for st in order.steps]
+        slot_of = {node: i for i, node in enumerate(node_slots)}
+        total_node_slots = len(node_slots) + len(order.steps)
+
+        arena.begin(total_node_slots, len(edge_slots))
+        arena.reserve(n_live)
+        nodes_b, edges_b = arena.back()
+        nodes_b[0, :n_live] = pinned_src
+        if not self_loop_query:
+            nodes_b[1, :n_live] = pinned_dst
+        edges_b[0, :n_live] = pinned_eid
+        arena.swap()
+        bound_nodes = len(node_slots)
+        bound_edges = 1
+
+        for step in order.steps:
+            nodes_f, edges_f = arena.front()
+            anchors = nodes_f[slot_of[step.anchor], :n_live]
+            uniq, inv = np.unique(anchors, return_inverse=True)
+            pool_ids: list[np.ndarray] = []
+            pool_verts: list[np.ndarray] = []
+            for anchor in uniq:
+                ids, verts = context.get_candidate_arrays(step, int(anchor))
+                pool_ids.append(ids)
+                pool_verts.append(verts)
+            pool_sizes = np.array([p.shape[0] for p in pool_ids], dtype=np.int64)
+            order_idx = np.argsort(inv, kind="stable")
+            group_counts = np.bincount(inv, minlength=len(uniq))
+            root_mask_fn = context.debi.roots_mask if step.node == root else None
+            parents, cand_ids, cand_verts = extend_intersect(
+                inv, order_idx, group_counts, pool_ids, pool_verts, pool_sizes,
+                nodes_f[:bound_nodes, :n_live] if injective else nodes_f[:0, :n_live],
+                edges_f[:bound_edges, :n_live] if injective else edges_f[:0, :n_live],
+                batch_ids,
+                mask.is_masked(step.tree_edge_index),
+                injective,
+                root_mask_fn,
+            )
+            if context.degree_filter is not None and parents.size:
+                uniq_v, inv_v = np.unique(cand_verts, return_inverse=True)
+                allowed = np.fromiter(
+                    (context.degree_ok(int(v), step.node) for v in uniq_v),
+                    dtype=bool, count=len(uniq_v),
+                )
+                surv = np.nonzero(allowed[inv_v])[0]
+                parents, cand_ids, cand_verts = (
+                    parents[surv], cand_ids[surv], cand_verts[surv]
+                )
+            m = parents.size
+            if m == 0:
+                n_live = 0
+                break
+            arena.reserve(m)
+            nodes_b, edges_b = arena.back()
+            for s in range(bound_nodes):
+                np.take(nodes_f[s, :n_live], parents, out=nodes_b[s, :m])
+            nodes_b[bound_nodes, :m] = cand_verts
+            for s in range(bound_edges):
+                np.take(edges_f[s, :n_live], parents, out=edges_b[s, :m])
+            edges_b[bound_edges, :m] = cand_ids
+            arena.swap()
+            node_slots.append(step.node)
+            slot_of[step.node] = bound_nodes
+            bound_nodes += 1
+            bound_edges += 1
+            n_live = m
+
+            if step.verify_edges and n_live:
+                nodes_f, edges_f = arena.front()
+                verify_specs = [
+                    (
+                        query.edge(qi),
+                        mask.is_masked(qi),
+                        slot_of[query.edge(qi).src],
+                        slot_of[query.edge(qi).dst],
+                    )
+                    for qi in step.verify_edges
+                ]
+                keep_rows = np.ones(n_live, dtype=bool)
+                any_removed = False
+                for r in range(n_live):
+                    used = {int(edges_f[s, r]) for s in range(bound_edges)}
+                    for q_edge, q_masked, s_src, s_dst in verify_specs:
+                        if not context.verify_witnesses(
+                            q_edge, int(nodes_f[s_src, r]), int(nodes_f[s_dst, r]),
+                            q_masked, used,
+                        ):
+                            keep_rows[r] = False
+                            any_removed = True
+                            break
+                if any_removed:
+                    surv = np.nonzero(keep_rows)[0]
+                    m = surv.size
+                    if m == 0:
+                        n_live = 0
+                        break
+                    arena.reserve(m)
+                    nodes_b, edges_b = arena.back()
+                    for s in range(bound_nodes):
+                        np.take(nodes_f[s, :n_live], surv, out=nodes_b[s, :m])
+                    for s in range(bound_edges):
+                        np.take(edges_f[s, :n_live], surv, out=edges_b[s, :m])
+                    arena.swap()
+                    n_live = m
+
+        if n_live == 0:
+            continue
+        context.embeddings_found += n_live
+        nodes_f, edges_f = arena.front()
+        emit(start_edge, node_slots, edge_slots, nodes_f, edges_f, n_live)
+
+
+def columnar_enumerate(
+    context: EnumerationContext,
+    units: list[WorkUnit],
+    collect: bool = True,
+    arena: "EmbeddingArena | None" = None,
+) -> tuple[list[Embedding], int]:
+    """Run ``units`` through the columnar kernel; return ``(embeddings, count)``.
+
+    With ``collect=False`` no :class:`Embedding` objects are built at all
+    (the caller only wants counts — the harness's default), which is
+    where most of the kernel's single-thread win over the tuple path
+    comes from on count-only workloads.
+    """
+    results: list[Embedding] = []
+    counts = [0]
+
+    def emit(start_edge, node_slots, edge_slots, nodes, edges, n):
+        counts[0] += n
+        if not collect:
+            return
+        node_order = sorted(range(len(node_slots)), key=node_slots.__getitem__)
+        edge_order = sorted(range(len(edge_slots)), key=edge_slots.__getitem__)
+        node_cols = [(node_slots[j], nodes[j, :n].tolist()) for j in node_order]
+        edge_cols = [(edge_slots[j], edges[j, :n].tolist()) for j in edge_order]
+        positive = context.positive
+        for r in range(n):
+            results.append(
+                Embedding(
+                    node_map=tuple((q, col[r]) for q, col in node_cols),
+                    edge_map=tuple((q, col[r]) for q, col in edge_cols),
+                    start_edge=start_edge,
+                    positive=positive,
+                )
+            )
+
+    _columnar_run(context, units, emit, arena=arena)
+    return results, counts[0]
+
+
+def columnar_enumerate_packed(
+    context: EnumerationContext,
+    units: list[WorkUnit],
+    arena: "EmbeddingArena | None" = None,
+) -> tuple[np.ndarray, int]:
+    """Run ``units`` and emit the packed int64 IPC layout directly.
+
+    The layout per embedding is the one :mod:`repro.core.parallel` ships
+    over the pool pipes — ``[start_edge, n_node_pairs, n_edge_pairs,
+    (qnode, vertex)* sorted, (qedge, eid)* sorted]`` — assembled straight
+    from the arena columns, so the process backend's separate pack step
+    disappears for kernel-eligible chunks.
+    """
+    parts: list[np.ndarray] = []
+    counts = [0]
+
+    def emit(start_edge, node_slots, edge_slots, nodes, edges, n):
+        counts[0] += n
+        n_nodes = len(node_slots)
+        n_edges = len(edge_slots)
+        width = 3 + 2 * n_nodes + 2 * n_edges
+        block = np.empty((n, width), dtype=np.int64)
+        block[:, 0] = start_edge
+        block[:, 1] = n_nodes
+        block[:, 2] = n_edges
+        col = 3
+        for j in sorted(range(n_nodes), key=node_slots.__getitem__):
+            block[:, col] = node_slots[j]
+            block[:, col + 1] = nodes[j, :n]
+            col += 2
+        for j in sorted(range(n_edges), key=edge_slots.__getitem__):
+            block[:, col] = edge_slots[j]
+            block[:, col + 1] = edges[j, :n]
+            col += 2
+        parts.append(block.reshape(-1))
+
+    _columnar_run(context, units, emit, arena=arena)
+    if not parts:
+        return np.empty(0, dtype=np.int64), 0
+    return np.concatenate(parts), counts[0]

@@ -21,6 +21,8 @@ label-degree rules are applied as an optional cheap local pre-filter.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.api import MatchDefinition
 from repro.core.debi import DEBI
 from repro.core.enumeration import degree_requirements_ok
@@ -149,11 +151,16 @@ class IndexManager:
                     frontier.seed_edge(tree_edge.column, eid)
 
         for tree_edge in self._columns_bottom_up:
-            candidates = set(frontier.edges_for(tree_edge.column))
+            parts = [frontier.edges_for(tree_edge.column)]
             # Edges whose child endpoint just gained downward support.
-            for vertex in frontier.vertices_for(tree_edge.child):
-                candidates.update(self.edges_with_child_at(vertex, tree_edge))
-            for eid in candidates:
+            for vertex in frontier.vertices_for(tree_edge.child).tolist():
+                pool = self.edges_with_child_at(vertex, tree_edge)
+                if pool:
+                    parts.append(np.asarray(pool, dtype=np.int64))
+            candidates = (
+                np.unique(np.concatenate(parts)) if len(parts) > 1 else parts[0]
+            )
+            for eid in candidates.tolist():
                 frontier.count_traversal()
                 if self.debi.get(eid, tree_edge.column):
                     continue
@@ -171,7 +178,7 @@ class IndexManager:
 
     def _refresh_roots_after_insert(self, frontier: UnifiedFrontier) -> None:
         root = self.tree.root
-        for vertex in frontier.vertices_for(root):
+        for vertex in frontier.vertices_for(root).tolist():
             frontier.count_traversal()
             if self.debi.is_root(vertex):
                 continue
@@ -198,7 +205,7 @@ class IndexManager:
         # Re-check down-consistency from the deepest affected query node upward.
         nodes_bottom_up = sorted(self.tree.bfs_order, key=lambda u: -self.tree.depth[u])
         for node in nodes_bottom_up:
-            vertices = frontier.vertices_for(node)
+            vertices = frontier.vertices_for(node).tolist()
             if not vertices:
                 continue
             if node == self.tree.root:

@@ -160,10 +160,26 @@ class EnumerationOutcome:
 
 
 # ---------------------------------------------------------------------- serial backend
-def _run_serial(context: "EnumerationContext", units: list["WorkUnit"]) -> EnumerationOutcome:
+def _run_serial(
+    context: "EnumerationContext", units: list["WorkUnit"], collect: bool = True
+) -> EnumerationOutcome:
+    from repro.core.enumeration import columnar_enumerate, columnar_supported
+
     stats = WorkerStats(worker_id=0)
     start = time.perf_counter()
-    embeddings: list["Embedding"] = []
+    if columnar_supported(context):
+        # The whole unit list runs through one batched kernel invocation;
+        # per-unit busy intervals would be fiction, so the batch is one
+        # interval and every unit counts as processed.
+        embeddings, found = columnar_enumerate(context, units, collect=collect)
+        wall = time.perf_counter() - start
+        stats.units_processed = len(units)
+        stats.embeddings_found = found
+        stats.busy_seconds = wall
+        if units:
+            stats.busy_intervals.append((0.0, wall))
+        return EnumerationOutcome(embeddings, [stats], wall, num_embeddings=found)
+    embeddings = []
     for unit in units:
         unit_start = time.perf_counter()
         produced = list(context.match_def.enumerate(context, unit))
@@ -179,8 +195,35 @@ def _run_serial(context: "EnumerationContext", units: list["WorkUnit"]) -> Enume
 
 # ---------------------------------------------------------------------- thread backend
 def _run_threads(
-    context: "EnumerationContext", units: list["WorkUnit"], num_workers: int
+    context: "EnumerationContext",
+    units: list["WorkUnit"],
+    num_workers: int,
+    collect: bool = True,
 ) -> EnumerationOutcome:
+    from repro.core.enumeration import columnar_enumerate, columnar_supported
+
+    if columnar_supported(context):
+        # Worker threads cannot speed the kernel up — the GIL serialises
+        # them — and measurably slow it down: the kernel's many short
+        # numpy steps each release and reacquire the GIL, so two threads
+        # convoy on the lock and the batch runs several times *slower*
+        # than serial.  One whole-batch kernel call on the calling thread
+        # is strictly better, so the thread backend degenerates to it.
+        # The per-unit fault hook still fires on the same schedule, so
+        # chaos plans targeting this backend behave unchanged.
+        stats = WorkerStats(worker_id=0)
+        start = time.perf_counter()
+        for _ in units:
+            fault_injection.thread_unit()
+        embeddings, found = columnar_enumerate(context, units, collect=collect)
+        wall = time.perf_counter() - start
+        stats.units_processed = len(units)
+        stats.embeddings_found = found
+        stats.busy_seconds = wall
+        if units:
+            stats.busy_intervals.append((0.0, wall))
+        return EnumerationOutcome(embeddings, [stats], wall, num_embeddings=found)
+
     work: "queue.SimpleQueue[WorkUnit | None]" = queue.SimpleQueue()
     for unit in units:
         work.put(unit)
@@ -238,12 +281,12 @@ _PROCESS_CONTEXT: "EnumerationContext | None" = None
 
 
 def _process_chunk(chunk: list["WorkUnit"]):
+    from repro.core.enumeration import enumerate_units
+
     assert _PROCESS_CONTEXT is not None, "process worker used before context installation"
     context = _PROCESS_CONTEXT
     start = time.perf_counter()
-    embeddings: list["Embedding"] = []
-    for unit in chunk:
-        embeddings.extend(context.match_def.enumerate(context, unit))
+    embeddings = enumerate_units(context, chunk)
     busy = time.perf_counter() - start
     return embeddings, busy, len(chunk), os.getpid()
 
@@ -453,11 +496,20 @@ def _pool_worker_main(
     ``None`` is the shutdown sentinel.
     """
     disable_shm_resource_tracking()
-    from repro.core.enumeration import WorkUnit
+    from repro.core.enumeration import (
+        EmbeddingArena,
+        WorkUnit,
+        columnar_enumerate,
+        columnar_enumerate_packed,
+        columnar_supported,
+    )
 
     attachment = SnapshotAttachment()
     trees = {qid: qs.tree for qid, qs in query_states.items()}
     contexts: dict[int, "EnumerationContext"] = {}
+    # Arenas persist across epochs (contexts do not): steady-state
+    # streaming reuses the same preallocated blocks batch after batch.
+    arenas: dict[int, "EmbeddingArena"] = {}
     # Cross-query sharing only: a single-query pool keeps the per-column
     # memo alone, so its candidates_scanned matches the serial backend
     # exactly (the shared cache is keyed without the DEBI column and
@@ -495,21 +547,45 @@ def _pool_worker_main(
                     contexts[query_id] = context
                 scanned_before = context.candidates_scanned
                 chunk_start = time.perf_counter()
-                embeddings: list["Embedding"] = []
-                for edge_id, start_edge in chunk.tolist():
-                    fault_injection.worker_unit(worker_id)
-                    embeddings.extend(
-                        context.match_def.enumerate(context, WorkUnit(edge_id, start_edge))
-                    )
-                chunk_end = time.perf_counter()
-                payload = _pack_embeddings(embeddings) if collect else None
+                if columnar_supported(context):
+                    # The kernel emits the packed IPC layout straight from
+                    # the arena — the tuple path's separate pack step is
+                    # gone.  Fault injection still fires per unit so chaos
+                    # tests exercise the same schedule points.
+                    units = []
+                    for edge_id, start_edge in chunk.tolist():
+                        fault_injection.worker_unit(worker_id)
+                        units.append(WorkUnit(edge_id, start_edge))
+                    arena = arenas.get(query_id)
+                    if arena is None:
+                        arena = arenas[query_id] = EmbeddingArena()
+                    if collect:
+                        payload, n_found = columnar_enumerate_packed(
+                            context, units, arena=arena
+                        )
+                    else:
+                        payload = None
+                        _, n_found = columnar_enumerate(
+                            context, units, collect=False, arena=arena
+                        )
+                    chunk_end = time.perf_counter()
+                else:
+                    embeddings: list["Embedding"] = []
+                    for edge_id, start_edge in chunk.tolist():
+                        fault_injection.worker_unit(worker_id)
+                        embeddings.extend(
+                            context.match_def.enumerate(context, WorkUnit(edge_id, start_edge))
+                        )
+                    chunk_end = time.perf_counter()
+                    n_found = len(embeddings)
+                    payload = _pack_embeddings(embeddings) if collect else None
                 result_queue.put(fault_injection.worker_message((
                     "ok",
                     epoch,
                     worker_id,
                     query_id,
                     len(chunk),
-                    len(embeddings),
+                    n_found,
                     payload,
                     chunk_start,
                     chunk_end,
@@ -994,9 +1070,9 @@ def run_enumeration(
     if not unit_list:
         return EnumerationOutcome([], [], 0.0)
     if config.backend == "serial" or config.num_workers == 1:
-        return _run_serial(context, unit_list)
+        return _run_serial(context, unit_list, collect=collect)
     if config.backend == "thread":
-        return _run_threads(context, unit_list, config.num_workers)
+        return _run_threads(context, unit_list, config.num_workers, collect=collect)
     if pool is not None and pool.usable and context.on_spilled_access is None:
         # Publication is O(V + E) (parent export + per-worker view build),
         # one unit enumerates in roughly the time ~1000 placeholders take
@@ -1007,7 +1083,7 @@ def run_enumeration(
             len(unit_list) < 2 * config.num_workers
             or len(unit_list) * 1000 < placeholders
         ):
-            return _run_serial(context, unit_list)
+            return _run_serial(context, unit_list, collect=collect)
         try:
             return pool.run(context, unit_list, collect=collect)
         except PoolBrokenError as exc:

@@ -564,7 +564,8 @@ class BatchPipeline:
             # than the enumeration itself).
             start = time.perf_counter()
             outcomes = {
-                qid: _run_serial(contexts[qid], units[qid]) for qid in contexts
+                qid: _run_serial(contexts[qid], units[qid], collect=collect)
+                for qid in contexts
             }
             self._complete_phase(
                 phase, contexts, outcomes, wall=time.perf_counter() - start
@@ -592,10 +593,10 @@ class BatchPipeline:
         outcomes: dict[int, EnumerationOutcome] = {}
         for qid, context in contexts.items():
             if degraded == "serial":
-                outcomes[qid] = _run_serial(context, units[qid])
+                outcomes[qid] = _run_serial(context, units[qid], collect=collect)
             elif degraded == "thread":
                 outcomes[qid] = self._run_threads_guarded(
-                    context, units[qid], max(parallel.num_workers, 2)
+                    context, units[qid], max(parallel.num_workers, 2), collect=collect
                 )
             elif self._fallback == "fork":
                 outcomes[qid] = run_enumeration(
@@ -603,10 +604,10 @@ class BatchPipeline:
                 )
             elif parallel.backend == "thread" and parallel.num_workers > 1:
                 outcomes[qid] = self._run_threads_guarded(
-                    context, units[qid], parallel.num_workers
+                    context, units[qid], parallel.num_workers, collect=collect
                 )
             else:
-                outcomes[qid] = _run_serial(context, units[qid])
+                outcomes[qid] = _run_serial(context, units[qid], collect=collect)
         return outcomes
 
     def _run_threads_guarded(
@@ -614,6 +615,7 @@ class BatchPipeline:
         context: "EnumerationContext",
         units: "list[WorkUnit]",
         num_workers: int,
+        collect: bool = True,
     ) -> EnumerationOutcome:
         """Thread-backend enumeration that degrades to serial on a fault.
 
@@ -624,7 +626,7 @@ class BatchPipeline:
         scanned_before = context.candidates_scanned
         found_before = context.embeddings_found
         try:
-            return _run_threads(context, units, num_workers)
+            return _run_threads(context, units, num_workers, collect=collect)
         except Exception as exc:
             context.candidates_scanned = scanned_before
             context.embeddings_found = found_before
@@ -637,7 +639,7 @@ class BatchPipeline:
                 RuntimeWarning,
                 stacklevel=3,
             )
-            return _run_serial(context, units)
+            return _run_serial(context, units, collect=collect)
 
     def _complete_phase(
         self,

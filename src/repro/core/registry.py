@@ -39,7 +39,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.core.api import DefaultMatchDefinition, MatchDefinition
 from repro.core.debi import DEBI
-from repro.core.enumeration import EnumerationContext, QueryState
+from repro.core.enumeration import EmbeddingArena, EnumerationContext, QueryState
 from repro.core.filtering import IndexManager
 from repro.core.parallel import (
     EnumerationOutcome,
@@ -86,6 +86,9 @@ class QueryRuntime:
     index_manager: IndexManager
     query_state: QueryState
     use_degree_filter: bool = True
+    kernel: str = "columnar"
+    #: reusable embedding arena for the columnar kernel's serial path
+    arena: "EmbeddingArena | None" = None
 
     def make_context(
         self,
@@ -117,6 +120,8 @@ class QueryRuntime:
             spilled_edge_ids=spilled_edge_ids,
             on_spilled_access=on_spilled_access,
             shared_pool_cache=shared_pool_cache,
+            kernel=self.kernel,
+            arena=self.arena,
         )
 
 
@@ -127,6 +132,7 @@ def build_query_runtime(
     use_degree_filter: bool = True,
     root: int | None = None,
     rebuild_index: bool = True,
+    kernel: str = "columnar",
 ) -> QueryRuntime:
     """InitializeIndex for one query over ``graph`` (tree, orders, masks, DEBI).
 
@@ -158,6 +164,7 @@ def build_query_runtime(
         masks=masks,
         match_def=match_def,
         use_degree_filter=use_degree_filter,
+        kernel=kernel,
     )
     return QueryRuntime(
         query=query,
@@ -169,6 +176,8 @@ def build_query_runtime(
         index_manager=index_manager,
         query_state=query_state,
         use_degree_filter=use_degree_filter,
+        kernel=kernel,
+        arena=EmbeddingArena() if kernel == "columnar" else None,
     )
 
 
@@ -222,9 +231,15 @@ class QueryRegistry:
     worker-side query states are stale.
     """
 
-    def __init__(self, graph: DynamicGraph, use_degree_filter: bool = True) -> None:
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        use_degree_filter: bool = True,
+        kernel: str = "columnar",
+    ) -> None:
         self.graph = graph
         self.use_degree_filter = use_degree_filter
+        self.kernel = kernel
         self._queries: dict[int, RegisteredQuery] = {}
         self._next_id = 0
         #: bumped on register/unregister; consumed by the pool owner
@@ -245,7 +260,7 @@ class QueryRegistry:
         runtime = build_query_runtime(
             query, match_def, self.graph,
             use_degree_filter=self.use_degree_filter, root=root,
-            rebuild_index=rebuild_index,
+            rebuild_index=rebuild_index, kernel=self.kernel,
         )
         query_id = self._next_id
         self._next_id += 1
@@ -401,7 +416,8 @@ class MultiQueryEngine(PoolOwnerMixin):
             )
         self.graph = graph or DynamicGraph(recycle_edge_ids=self.config.recycle_edge_ids)
         self.registry = QueryRegistry(
-            self.graph, use_degree_filter=self.config.use_degree_filter
+            self.graph, use_degree_filter=self.config.use_degree_filter,
+            kernel=self.config.kernel,
         )
         self._storage = None
         self.recovery_info: dict | None = None

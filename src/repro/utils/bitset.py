@@ -137,6 +137,22 @@ class BitVector:
             self._words[words.shape[0] :] = 0
         self._nbits = nbits
 
+    def get_many(self, indices: np.ndarray) -> np.ndarray:
+        """Boolean mask over an int64 index array: is each bit set?
+
+        The vectorized counterpart of :meth:`get` — one word gather plus
+        one shift/and over the whole array.  Indexes beyond the written
+        range read as False, mirroring the scalar semantics.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        out = np.zeros(idx.shape[0], dtype=bool)
+        valid = (idx >= 0) & (idx < self._nbits)
+        vi = idx[valid]
+        words = self._words[vi // _WORD_BITS]
+        shifts = (vi % _WORD_BITS).astype(np.uint64)
+        out[valid] = (words >> shifts) & np.uint64(1) != 0
+        return out
+
     def iter_set(self):
         """Yield the indexes of all set bits in increasing order."""
         nonzero_words = np.nonzero(self._words)[0]
