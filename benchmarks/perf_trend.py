@@ -30,7 +30,7 @@ import os
 import sys
 import time
 
-from repro.bench.harness import run_mnemonic_stream
+from repro.bench.harness import run_mnemonic_stream, run_sharded_stream
 from repro.core.parallel import ParallelConfig
 from repro.datasets import NetFlowConfig, build_query_workload, generate_netflow_stream
 
@@ -46,6 +46,8 @@ FIG06_BATCH = 256
 #: job stays under a minute, but the same kernel x backend grid
 FIG13_SUFFIX = 400
 FIG13_WORKERS = (2, 4)
+#: fig13 shard-scaling rows (see benchmarks/test_fig13_shard_scaling.py)
+FIG13_SHARDS = (1, 2, 4)
 
 KERNELS = ("columnar", "python")
 
@@ -105,6 +107,24 @@ def run_fig13_micro(stream, suite, query) -> dict[str, dict]:
     return rows
 
 
+def run_fig13_shards(stream, suite, query) -> dict[str, dict]:
+    """The shard-scaling row set: one serial ShardedEngine run per count.
+
+    Wall-clock only, like every other trend row; the strictly-decreasing
+    per-shard *work* assertions live in the pytest benchmark
+    (``test_fig13_shard_scaling.py``) where they can be core-gated.
+    """
+    prefix = len(stream) - FIG13_SUFFIX
+    rows = {}
+    for shards in FIG13_SHARDS:
+        run = run_sharded_stream(
+            query, stream, shards=shards, initial_prefix=prefix,
+            batch_size=FIG13_SUFFIX, query_name=suite,
+        )
+        rows[f"fig13/{suite}.columnar.shards@{shards}"] = {"seconds": run.seconds}
+    return rows
+
+
 def delta_table(current: dict[str, dict], baseline: dict[str, dict]) -> str:
     """Markdown baseline-vs-current table (advisory, never gated)."""
     lines = [
@@ -147,6 +167,7 @@ def main(argv: list[str] | None = None) -> int:
     current: dict[str, dict] = {}
     current.update(run_fig06_t9(stream, suite, query))
     current.update(run_fig13_micro(stream, suite, query))
+    current.update(run_fig13_shards(stream, suite, query))
 
     with open(OUTPUT_PATH, "w", encoding="utf-8") as fh:
         json.dump(current, fh, indent=2, sort_keys=True)
@@ -171,9 +192,30 @@ def main(argv: list[str] | None = None) -> int:
     if os.path.exists(BASELINE_PATH):
         with open(BASELINE_PATH, encoding="utf-8") as fh:
             baseline = json.load(fh)
+        # Rows added since the baseline was written (new benchmarks) have
+        # nothing to diff against; seed them from this run so the next
+        # scheduled run reports a real delta instead of n/a forever.
+        missing = {name: row for name, row in current.items() if name not in baseline}
+        if missing:
+            baseline.update(missing)
+            with open(BASELINE_PATH, "w", encoding="utf-8") as fh:
+                json.dump(baseline, fh, indent=2, sort_keys=True)
+            print(
+                f"seeded {len(missing)} new row(s) into {BASELINE_PATH}",
+                file=sys.stderr,
+            )
     else:
-        print(f"no baseline at {BASELINE_PATH}; deltas reported as n/a",
-              file=sys.stderr)
+        # First scheduled run: no prior sample to diff.  Emit this run AS
+        # the baseline (zero-delta rows) rather than skipping the table —
+        # the artifact then exists for every later run to diff against.
+        baseline = current
+        with open(BASELINE_PATH, "w", encoding="utf-8") as fh:
+            json.dump(baseline, fh, indent=2, sort_keys=True)
+        print(
+            f"no baseline at {BASELINE_PATH}; seeded it from this run "
+            "(deltas start at +0%)",
+            file=sys.stderr,
+        )
 
     table = delta_table(current, baseline)
     print(table)

@@ -75,6 +75,9 @@ class EngineConfig:
     #: (the default policy performs no respawns — a broken pool degrades
     #: straight to the thread backend, the pre-supervisor behaviour)
     fault: FaultPolicy = field(default_factory=FaultPolicy)
+    #: number of engine shards (used by :class:`~repro.core.shard_router.
+    #: ShardedEngine`; MnemonicEngine ignores it and always runs one)
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.kernel not in ("columnar", "python"):
@@ -82,6 +85,8 @@ class EngineConfig:
                 f"unknown enumeration kernel {self.kernel!r}; "
                 "expected 'columnar' or 'python'"
             )
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
 
 
 @dataclass

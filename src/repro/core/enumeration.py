@@ -753,41 +753,82 @@ def _columnar_run(
         q_start = query.edge(start_edge)
         self_loop_query = q_start.src == q_start.dst
 
-        # -- start pinning: scalar per unit, identical to the tuple path
+        # -- start pinning.  The shape predicate (self-loop agreement) is
+        # evaluated as one vectorized mask over batched endpoint gathers,
+        # and the f2/f3 degree checks run once per *unique* endpoint
+        # instead of once per unit; both are chargeless predicates, so
+        # reordering them around the equally chargeless edge_matcher /
+        # has_non_batch_witness keeps the set of rows reaching each
+        # charging verify_witnesses call — and with it every counter —
+        # identical to the tuple path.
+        eids_arr = np.asarray(edge_ids, dtype=np.int64)
+        srcs_arr = graph.endpoint_array(eids_arr, False)
+        dsts_arr = graph.endpoint_array(eids_arr, True)
+        loops = srcs_arr == dsts_arr
+        if self_loop_query:
+            shape_ok = loops
+        elif injective:
+            shape_ok = ~loops
+        else:
+            shape_ok = np.ones(eids_arr.size, dtype=bool)
+        src_list = srcs_arr.tolist()
+        dst_list = dsts_arr.tolist()
+
+        survivors: list[int] = []
+        for i in np.nonzero(shape_ok)[0].tolist():
+            eid = edge_ids[i]
+            if not match_def.edge_matcher(query, graph, q_start, graph.edge(eid)):
+                continue
+            if mask.require_no_old_witness and context.has_non_batch_witness(
+                start_edge, src_list[i], dst_list[i], exclude_edge=eid
+            ):
+                continue
+            survivors.append(i)
+
+        if survivors and context.degree_filter is not None:
+            # Memoised per (vertex, query node); deduplicating first makes
+            # the batch pay one predicate evaluation per distinct endpoint.
+            src_allowed = {
+                v: context.degree_ok(v, q_start.src)
+                for v in {src_list[i] for i in survivors}
+            }
+            dst_allowed = {
+                v: context.degree_ok(v, q_start.dst)
+                for v in {dst_list[i] for i in survivors}
+            }
+            survivors = [
+                i for i in survivors
+                if src_allowed[src_list[i]] and dst_allowed[dst_list[i]]
+            ]
+
+        start_specs = [
+            (
+                query.edge(q_index),
+                mask.is_masked(q_index),
+                query.edge(q_index).src == q_start.src,
+                query.edge(q_index).dst == q_start.src,
+            )
+            for q_index in order.start_verify_edges
+        ]
         pinned_src: list[int] = []
         pinned_dst: list[int] = []
         pinned_eid: list[int] = []
-        for eid in edge_ids:
-            record = graph.edge(eid)
-            if not match_def.edge_matcher(query, graph, q_start, record):
-                continue
-            if injective and not self_loop_query and record.src == record.dst:
-                continue
-            if self_loop_query and record.src != record.dst:
-                continue
-            if mask.require_no_old_witness and context.has_non_batch_witness(
-                start_edge, record.src, record.dst, exclude_edge=record.edge_id
-            ):
-                continue
-            if not context.degree_ok(record.src, q_start.src):
-                continue
-            if not context.degree_ok(record.dst, q_start.dst):
-                continue
-            if order.start_verify_edges:
+        for i in survivors:
+            eid = edge_ids[i]
+            if start_specs:
                 ok = True
-                for q_index in order.start_verify_edges:
-                    q_edge = query.edge(q_index)
-                    v_src = record.src if q_edge.src == q_start.src else record.dst
-                    v_dst = record.src if q_edge.dst == q_start.src else record.dst
+                for q_edge, q_masked, src_is_start_src, dst_is_start_src in start_specs:
+                    v_src = src_list[i] if src_is_start_src else dst_list[i]
+                    v_dst = src_list[i] if dst_is_start_src else dst_list[i]
                     if not context.verify_witnesses(
-                        q_edge, v_src, v_dst, mask.is_masked(q_index), {eid}
+                        q_edge, v_src, v_dst, q_masked, {eid}
                     ):
                         ok = False
                         break
                 if not ok:
                     continue
-            pinned_src.append(record.src)
-            pinned_dst.append(record.dst)
+            pinned_src.append(src_list[i])
+            pinned_dst.append(dst_list[i])
             pinned_eid.append(eid)
 
         n_live = len(pinned_eid)
@@ -864,23 +905,27 @@ def _columnar_run(
 
             if step.verify_edges and n_live:
                 nodes_f, edges_f = arena.front()
+                # Bulk-gather the columns the scan reads — per-spec endpoint
+                # rows and the used-edge matrix transposed to row-major —
+                # as Python ints up front, so the remaining per-row work is
+                # only the (charging) witness scans themselves.
                 verify_specs = [
                     (
                         query.edge(qi),
                         mask.is_masked(qi),
-                        slot_of[query.edge(qi).src],
-                        slot_of[query.edge(qi).dst],
+                        nodes_f[slot_of[query.edge(qi).src], :n_live].tolist(),
+                        nodes_f[slot_of[query.edge(qi).dst], :n_live].tolist(),
                     )
                     for qi in step.verify_edges
                 ]
+                used_rows = edges_f[:bound_edges, :n_live].T.tolist()
                 keep_rows = np.ones(n_live, dtype=bool)
                 any_removed = False
                 for r in range(n_live):
-                    used = {int(edges_f[s, r]) for s in range(bound_edges)}
-                    for q_edge, q_masked, s_src, s_dst in verify_specs:
+                    used = set(used_rows[r])
+                    for q_edge, q_masked, row_srcs, row_dsts in verify_specs:
                         if not context.verify_witnesses(
-                            q_edge, int(nodes_f[s_src, r]), int(nodes_f[s_dst, r]),
-                            q_masked, used,
+                            q_edge, row_srcs[r], row_dsts[r], q_masked, used,
                         ):
                             keep_rows[r] = False
                             any_removed = True

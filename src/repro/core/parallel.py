@@ -405,6 +405,10 @@ class _InflightEpoch:
     embeddings: "dict[int, list[Embedding]]" = field(default_factory=dict)
     totals: dict[int, int] = field(default_factory=dict)
     scanned: dict[int, int] = field(default_factory=dict)
+    #: unit chunks bounced back by the shard-ownership guard (sharded
+    #: dispatch only): the worker's snapshot cannot answer a cross-shard
+    #: read, so the router re-runs these with frontier forwarding
+    escaped: dict[int, list] = field(default_factory=dict)
     failure: str | None = None
 
 
@@ -425,10 +429,19 @@ class DispatchedEpoch:
 
 @dataclass(frozen=True)
 class DrainedEpoch:
-    """Per-query outcomes of one fully drained epoch."""
+    """Per-query outcomes of one fully drained epoch.
+
+    ``escaped`` holds the work units (per query) that the workers could
+    not finish shard-locally — present only for sharded dispatches whose
+    descriptor carried a ``"shard"`` ownership spec.  The caller owns
+    their re-execution (the shard router re-runs them with cross-shard
+    frontier forwarding); their counters and embeddings are *not* part
+    of ``outcomes``.
+    """
 
     epoch: int
     outcomes: dict[int, EnumerationOutcome]
+    escaped: "dict[int, list[WorkUnit]]" = field(default_factory=dict)
 
 
 def _pack_embeddings(embeddings: list["Embedding"]) -> "np.ndarray":
@@ -503,6 +516,7 @@ def _pool_worker_main(
         columnar_enumerate_packed,
         columnar_supported,
     )
+    from repro.core.sharding import CrossShardAccess, ShardGuardView
 
     attachment = SnapshotAttachment()
     trees = {qid: qs.tree for qid, qs in query_states.items()}
@@ -537,6 +551,19 @@ def _pool_worker_main(
                 context = contexts.get(query_id)
                 if context is None:
                     graph_view, debis, batch_edge_ids = attachment.views(descriptor, trees)
+                    shard_spec = descriptor.get("shard")
+                    if shard_spec is not None:
+                        # Sharded dispatch: this snapshot holds one shard's
+                        # edges only.  Adjacency is complete only at owned
+                        # vertices; the guard turns any foreign read into a
+                        # CrossShardAccess escape instead of a silent
+                        # partial frontier.
+                        graph_view = ShardGuardView(
+                            graph_view,
+                            shard_spec["strategy"],
+                            shard_spec["num_shards"],
+                            shard_spec["shard"],
+                        )
                     context = query_states[query_id].make_context(
                         graph_view,
                         debis[query_id],
@@ -591,6 +618,13 @@ def _pool_worker_main(
                     chunk_end,
                     context.candidates_scanned - scanned_before,
                 )))
+            except CrossShardAccess:
+                # The chunk needs another shard's adjacency; bounce it back
+                # whole.  Partial counter deltas are dropped on purpose —
+                # the router's scatter-gather re-run charges them cleanly.
+                result_queue.put(
+                    ("escaped", epoch, worker_id, query_id, len(chunk), chunk)
+                )
             except Exception:  # pragma: no cover - surfaced parent-side as PoolBrokenError
                 result_queue.put(
                     ("err", epoch, worker_id, query_id, len(chunk), traceback.format_exc())
@@ -760,6 +794,7 @@ class SharedMemoryPool:
         contexts: "dict[int, EnumerationContext]",
         units: "dict[int, list[WorkUnit]]",
         collect: bool = True,
+        descriptor_extra: dict | None = None,
     ) -> "DispatchedEpoch":
         """Publish a snapshot and enqueue every query's units — without waiting.
 
@@ -795,6 +830,10 @@ class SharedMemoryPool:
             self._broken = True
             raise PoolBrokenError(f"snapshot publication failed: {exc}") from exc
 
+        if descriptor_extra:
+            # Side-channel for the shard router: the ownership spec rides
+            # in the descriptor (plain queue payload, not shared memory).
+            descriptor = {**descriptor, **descriptor_extra}
         epoch = descriptor["epoch"]
         self._enqueue_epoch(epoch, descriptor, contexts, units, collect)
         return DispatchedEpoch(epoch=epoch, descriptor=descriptor, units=units)
@@ -901,7 +940,16 @@ class SharedMemoryPool:
                 wall,
                 num_embeddings=state.totals[qid],
             )
-        return DrainedEpoch(epoch=epoch, outcomes=outcomes)
+        from repro.core.enumeration import WorkUnit
+
+        escaped: dict[int, list["WorkUnit"]] = {}
+        for qid, chunks in state.escaped.items():
+            escaped[qid] = [
+                WorkUnit(int(edge_id), int(start_edge))
+                for chunk in chunks
+                for edge_id, start_edge in chunk.tolist()
+            ]
+        return DrainedEpoch(epoch=epoch, outcomes=outcomes, escaped=escaped)
 
     def _route_result(self, message) -> None:
         """Book one worker message into its epoch's in-flight state.
@@ -918,6 +966,10 @@ class SharedMemoryPool:
             if kind == "err":
                 state.pending -= 1
                 state.failure = message[5]
+                return
+            if kind == "escaped":
+                state.pending -= 1
+                state.escaped.setdefault(message[3], []).append(message[5])
                 return
             (_, _, worker_id, qid, n_units, n_found, payload, chunk_start,
              chunk_end, scanned) = message

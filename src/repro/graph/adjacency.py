@@ -200,17 +200,35 @@ class DynamicGraph:
         timestamp: float = 0.0,
         src_label: int | None = None,
         dst_label: int | None = None,
+        edge_id: int | None = None,
     ) -> int:
         """Insert a new edge instance and return its ``edge_id``.
 
         Parallel edges (same ``src``/``dst``/``label``) are distinct
         instances with distinct ids — this is the multigraph property the
         paper relies on for context-aware matching.
+
+        ``edge_id`` forces the id instead of allocating one: the
+        partitioned mutation API.  Engine shards share one global id
+        space (a router-level allocator hands out ids, so DEBI rows and
+        embedding identities agree across shards); a shard storing only
+        part of that space pads the skipped ids with dead placeholder
+        rows, exactly like deleted-but-unrecycled edges.
         """
         self.add_vertex(src, src_label if src_label is not None else self.vertex_label(src))
         self.add_vertex(dst, dst_label if dst_label is not None else self.vertex_label(dst))
 
-        edge_id = self._allocate_id(src)
+        if edge_id is None:
+            edge_id = self._allocate_id(src)
+        elif edge_id < len(self._src) and self._alive[edge_id]:
+            raise GraphError(f"edge id {edge_id} is already a live edge")
+        else:
+            while len(self._src) < edge_id:
+                self._src.append(0)
+                self._dst.append(0)
+                self._label.append(0)
+                self._timestamp.append(0.0)
+                self._alive.append(False)
         if edge_id == len(self._src):
             self._src.append(src)
             self._dst.append(dst)

@@ -33,6 +33,7 @@ from repro.streams.events import (
     decode_lsbench_triple,
     encode_lsbench_triple,
 )
+from repro.streams.fanout import FanoutStats, ShardFanout
 from repro.streams.generator import Snapshot, SnapshotBatcher, SnapshotGenerator
 from repro.streams.sources import (
     CSVTraceSource,
@@ -60,6 +61,8 @@ __all__ = [
     "StreamBroker",
     "BrokerClosedError",
     "POLL_TIMEOUT",
+    "ShardFanout",
+    "FanoutStats",
     "Clock",
     "WallClock",
     "VirtualClock",
