@@ -25,6 +25,14 @@ reference (``kernel="python"``), under both the serial and the process
 backend, and the serial runs must agree on ``candidates_scanned`` to the
 digit (the kernel batches the same scans, it must not add or skip any).
 
+The ``ingest_parity`` gate protects the columnar ingest path
+(``EngineConfig(ingest="columnar")``): serial runs must match the
+per-edge reference on identity sets *and* scan counters to the digit,
+pipelined and sharded runs on identity sets (sharded also on aggregate
+counters), the raw graph replay must assign identical edge-id sequences
+(recycling included), and the columnar mutation+index throughput must
+clear a loose events/sec floor so the path cannot silently degrade.
+
 The ``pipeline_parity`` gate protects the pipelined execution mode: on
 an insert+delete stream, ``pipeline="pipelined"`` must produce
 bit-identical positive *and* negative result sets to the serial mode,
@@ -95,6 +103,11 @@ MULTI_QUERY_GRAPH_SIZES = (5, 6)
 
 #: allowed relative growth of candidates_scanned before the job fails
 REGRESSION_TOLERANCE = 0.20
+
+#: minimum mutation+index events/sec for the columnar serial ingest path.
+#: Local runs clear ~10x this; the slack absorbs shared-runner noise while
+#: still catching an accidental fall-back to the per-edge path.
+INGEST_THROUGHPUT_FLOOR = 10_000.0
 
 #: figures gated against perf_baseline.json.  service_parity is excluded:
 #: its adaptive rows batch by arrival time, so their scan counts shift a
@@ -247,6 +260,187 @@ def run_kernel_parity(stream) -> tuple[dict, list[str]]:
                     "positive": run.embeddings,
                     "negative": run.negative_embeddings,
                 }
+    return metrics, failures
+
+
+def run_ingest_parity(stream) -> tuple[dict, list[str]]:
+    """The columnar-ingest gate: vectorized batch mutations vs per-edge.
+
+    ``EngineConfig(ingest="columnar")`` decodes each sealed batch into
+    int64 columns and applies graph mutation, DEBI/index maintenance and
+    snapshot publication in bulk; the contract is **bit-identity** with
+    the per-edge reference path, not mere result equality:
+
+    * serial runs must agree on positive and negative identity sets AND
+      on ``candidates_scanned`` / ``filter_traversals`` to the digit
+      (insert-only and insert+delete streams);
+    * pipelined runs (process pool, dirty-slice publication active) must
+      agree on identity sets;
+    * sharded runs (2 shards, per-shard column splits) must agree on
+      identity sets and aggregate scan counters;
+    * the raw graph replay must assign the **same edge-id sequence**,
+      including per-source newest-first recycling;
+    * the columnar serial mutation+index throughput must clear a floor —
+      a deliberately loose one (shared runners), pinned so the path
+      cannot silently fall back to per-edge.
+    """
+    from repro.graph.adjacency import DynamicGraph
+    from repro.streams.events import EventColumns
+
+    workload = build_query_workload(
+        stream, tree_sizes=(3, 6), graph_sizes=(),
+        queries_per_suite=1, prefix=2000, seed=11,
+    )
+    prefix = len(stream) - FIG06_SUFFIX
+    suffix = stream[prefix:]
+    deletes = [
+        StreamEvent.delete(e.src, e.dst, e.label, timestamp=e.timestamp)
+        for e in suffix[::2]
+        if e.kind is EventKind.INSERT
+    ]
+    mixed = list(stream[:prefix]) + list(suffix) + deletes
+    streams = {
+        "insert": (list(stream), StreamType.INSERT_ONLY),
+        "mixed": (mixed, StreamType.INSERT_DELETE),
+    }
+    parallel = ParallelConfig(backend="process", num_workers=2, chunk_size=32)
+    failures: list[str] = []
+    metrics: dict[str, dict] = {}
+
+    # -- edge-id sequence parity on the raw graph (batch-by-batch replay)
+    per_edge_graph = DynamicGraph()
+    columnar_graph = DynamicGraph()
+    events = [e for e in mixed if e.kind is EventKind.INSERT]
+    for lo in range(0, len(events), FIG06_BATCH):
+        batch = events[lo : lo + FIG06_BATCH]
+        ref_ids = [
+            per_edge_graph.add_edge(
+                e.src, e.dst, e.label, e.timestamp,
+                src_label=e.src_label, dst_label=e.dst_label,
+            )
+            for e in batch
+        ]
+        columns = EventColumns.from_events(EventKind.INSERT, batch)
+        col_ids = [
+            int(i)
+            for i in columnar_graph.apply_insert_columns(
+                columns.src, columns.dst, columns.label,
+                columns.timestamp, columns.src_label, columns.dst_label,
+            )
+        ]
+        if col_ids != ref_ids:
+            failures.append(
+                f"ingest_parity: edge-id sequence diverged in batch at {lo}"
+            )
+            break
+
+    for suite, query in workload:
+        for stream_name, (events, stream_type) in streams.items():
+            reference = run_mnemonic_stream(
+                query, events, initial_prefix=prefix, batch_size=FIG06_BATCH,
+                stream_type=stream_type, collect_embeddings=True,
+                ingest="per_edge", query_name=suite,
+            )
+            ref_pos = positive_identities(reference.run_result)
+            ref_neg = negative_identities(reference.run_result)
+            if not ref_pos:
+                failures.append(
+                    f"ingest_parity/{suite}.{stream_name}: vacuous gate "
+                    "(per-edge reference produced no positive embeddings)"
+                )
+            run = run_mnemonic_stream(
+                query, events, initial_prefix=prefix, batch_size=FIG06_BATCH,
+                stream_type=stream_type, collect_embeddings=True,
+                ingest="columnar", query_name=suite,
+            )
+            label = f"ingest_parity/{suite}.{stream_name}.serial"
+            if positive_identities(run.run_result) != ref_pos:
+                failures.append(f"{label}: positive results differ from per-edge")
+            if negative_identities(run.run_result) != ref_neg:
+                failures.append(f"{label}: negative results differ from per-edge")
+            for counter in ("candidates_scanned", "filter_traversals"):
+                if run.extra[counter] != reference.extra[counter]:
+                    failures.append(
+                        f"{label}: {counter} diverged "
+                        f"({reference.extra[counter]} -> {run.extra[counter]})"
+                    )
+            split = run.extra["phase_split"]
+            ingest_seconds = split["update_seconds"] + split["filter_seconds"]
+            events_in_suffix = len(events) - prefix
+            throughput = (
+                events_in_suffix / ingest_seconds if ingest_seconds > 0 else 0.0
+            )
+            if throughput < INGEST_THROUGHPUT_FLOOR:
+                failures.append(
+                    f"{label}: mutation+index throughput {throughput:,.0f} ev/s "
+                    f"below the {INGEST_THROUGHPUT_FLOOR:,.0f} ev/s floor"
+                )
+            metrics[f"{suite}.{stream_name}.serial"] = {
+                "seconds": run.seconds,
+                "per_edge_seconds": reference.seconds,
+                "candidates_scanned": run.extra["candidates_scanned"],
+                "filter_traversals": run.extra["filter_traversals"],
+                "ingest_events_per_second": throughput,
+                "phase_split": split,
+            }
+
+            # pipelined: dirty-slice publication is live (process pool)
+            pipe_runs = {}
+            for ingest in ("per_edge", "columnar"):
+                pipe_runs[ingest] = run_mnemonic_stream(
+                    query, events, initial_prefix=prefix, batch_size=FIG06_BATCH,
+                    stream_type=stream_type, collect_embeddings=True,
+                    parallel=parallel, pipeline="pipelined",
+                    ingest=ingest, query_name=suite,
+                )
+            label = f"ingest_parity/{suite}.{stream_name}.pipelined"
+            if positive_identities(
+                pipe_runs["columnar"].run_result
+            ) != positive_identities(pipe_runs["per_edge"].run_result):
+                failures.append(f"{label}: positive results differ from per-edge")
+            if negative_identities(
+                pipe_runs["columnar"].run_result
+            ) != negative_identities(pipe_runs["per_edge"].run_result):
+                failures.append(f"{label}: negative results differ from per-edge")
+            metrics[f"{suite}.{stream_name}.pipelined"] = {
+                "seconds": pipe_runs["columnar"].seconds,
+                "per_edge_seconds": pipe_runs["per_edge"].seconds,
+                "candidates_scanned": pipe_runs["columnar"].extra["candidates_scanned"],
+                "publish_stats": pipe_runs["columnar"].extra.get("publish_stats"),
+            }
+
+            # sharded: per-shard column splits, mirrored DEBI bulk updates
+            shard_runs = {}
+            for ingest in ("per_edge", "columnar"):
+                shard_runs[ingest] = run_sharded_stream(
+                    query, events, shards=2, initial_prefix=prefix,
+                    batch_size=FIG06_BATCH, stream_type=stream_type,
+                    collect_embeddings=True, ingest=ingest, query_name=suite,
+                )
+            label = f"ingest_parity/{suite}.{stream_name}.sharded"
+            if positive_identities(
+                shard_runs["columnar"].run_result
+            ) != positive_identities(shard_runs["per_edge"].run_result):
+                failures.append(f"{label}: positive results differ from per-edge")
+            if negative_identities(
+                shard_runs["columnar"].run_result
+            ) != negative_identities(shard_runs["per_edge"].run_result):
+                failures.append(f"{label}: negative results differ from per-edge")
+            for counter in ("candidates_scanned", "filter_traversals"):
+                if (
+                    shard_runs["columnar"].extra[counter]
+                    != shard_runs["per_edge"].extra[counter]
+                ):
+                    failures.append(
+                        f"{label}: {counter} diverged "
+                        f"({shard_runs['per_edge'].extra[counter]} -> "
+                        f"{shard_runs['columnar'].extra[counter]})"
+                    )
+            metrics[f"{suite}.{stream_name}.sharded"] = {
+                "seconds": shard_runs["columnar"].seconds,
+                "per_edge_seconds": shard_runs["per_edge"].seconds,
+                "candidates_scanned": shard_runs["columnar"].extra["candidates_scanned"],
+            }
     return metrics, failures
 
 
@@ -925,12 +1119,14 @@ def main(argv: list[str] | None = None) -> int:
     stream, workload = build_workload()
     multi_metrics, sharing_failures = run_multi_query(stream)
     kernel_metrics, kernel_failures = run_kernel_parity(stream)
+    ingest_metrics, ingest_failures = run_ingest_parity(stream)
     shard_metrics, shard_failures = run_shard_parity(stream)
     parity_metrics, parity_failures = run_pipeline_parity(stream)
     service_metrics, service_failures = run_service_parity(stream)
     durability_metrics, durability_failures = run_durability_parity(stream)
     healing_metrics, healing_failures = run_self_healing_parity(stream)
     sharing_failures.extend(kernel_failures)
+    sharing_failures.extend(ingest_failures)
     sharing_failures.extend(shard_failures)
     sharing_failures.extend(parity_failures)
     sharing_failures.extend(service_failures)
@@ -941,6 +1137,7 @@ def main(argv: list[str] | None = None) -> int:
         "fig08": run_fig08(stream, workload),
         "multi_query": multi_metrics,
         "kernel_parity": kernel_metrics,
+        "ingest_parity": ingest_metrics,
         "shard_parity": shard_metrics,
         "pipeline_parity": parity_metrics,
         "service_parity": service_metrics,
@@ -959,8 +1156,9 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     if sharing_failures:
-        print("multi-query sharing / kernel / shard / pipeline / service / "
-              "durability / self-healing parity gate FAILED:", file=sys.stderr)
+        print("multi-query sharing / kernel / ingest / shard / pipeline / "
+              "service / durability / self-healing parity gate FAILED:",
+              file=sys.stderr)
         for line in sharing_failures:
             print(f"  {line}", file=sys.stderr)
         return 1

@@ -12,7 +12,9 @@ build.  The job instead
 
 * appends one JSON line per run to ``benchmarks/results/BENCH_trend.jsonl``
   (uploaded as a CI artifact, so the scheduled runs accumulate a series),
-* writes the full sample to ``benchmarks/BENCH_trend.json``, and
+* writes the full sample to ``benchmarks/BENCH_trend.json``,
+* writes the ingest A/B (per-edge vs columnar mutation+index wall per
+  batch size, with speedups) to ``benchmarks/BENCH_ingest.json``, and
 * emits a markdown delta table against the checked-in advisory baseline
   (``benchmarks/perf_trend_baseline.json``) for the PR comment.
 
@@ -38,6 +40,7 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 BASELINE_PATH = os.path.join(HERE, "perf_trend_baseline.json")
 OUTPUT_PATH = os.path.join(HERE, "BENCH_trend.json")
 TREND_PATH = os.path.join(HERE, "results", "BENCH_trend.jsonl")
+INGEST_OUTPUT_PATH = os.path.join(HERE, "BENCH_ingest.json")
 
 #: fig06 row: stream suffix and batch size, matching perf_smoke's fig06
 FIG06_SUFFIX = 500
@@ -48,6 +51,9 @@ FIG13_SUFFIX = 400
 FIG13_WORKERS = (2, 4)
 #: fig13 shard-scaling rows (see benchmarks/test_fig13_shard_scaling.py)
 FIG13_SHARDS = (1, 2, 4)
+#: ingest A/B: per-edge vs columnar mutation+index wall per batch size
+INGEST_BATCHES = (256, 512, 1024)
+INGEST_REPEATS = 3
 
 KERNELS = ("columnar", "python")
 
@@ -125,6 +131,55 @@ def run_fig13_shards(stream, suite, query) -> dict[str, dict]:
     return rows
 
 
+def run_ingest(stream, suite, query) -> tuple[dict[str, dict], dict]:
+    """Ingest A/B: the per-edge vs the columnar mutation+index path.
+
+    Runs the whole fig06 stream from a cold graph (every growth and
+    recycling regime is exercised) under the serial pipeline, where
+    publication does not run — so ``update + filter`` seconds IS the
+    ingest wall (graph mutation + DEBI/index maintenance).  Each mode
+    takes the best of ``INGEST_REPEATS`` samples; identity sets and scan
+    counters are bit-identical by the ``ingest_parity`` gate in
+    ``perf_smoke.py``, so only wall-clock is recorded here.
+
+    Returns the trend rows plus the machine-readable payload written to
+    ``benchmarks/BENCH_ingest.json`` (per batch size: seconds per mode,
+    speedup, and columnar events/sec).
+    """
+    num_events = len(stream)
+    rows: dict[str, dict] = {}
+    payload: dict = {
+        "stream": f"fig06_netflow_{num_events}",
+        "suite": suite,
+        "metric": "update_seconds + filter_seconds (serial, cold graph)",
+        "batch_sizes": {},
+    }
+    for batch in INGEST_BATCHES:
+        seconds: dict[str, float] = {}
+        for ingest in ("per_edge", "columnar"):
+            samples = []
+            for _ in range(INGEST_REPEATS):
+                run = run_mnemonic_stream(
+                    query, stream, initial_prefix=0, batch_size=batch,
+                    kernel="columnar", query_name=suite, ingest=ingest,
+                )
+                split = run.extra["phase_split"]
+                samples.append(
+                    split["update_seconds"] + split["filter_seconds"]
+                )
+            seconds[ingest] = min(samples)
+            rows[f"ingest/{suite}.{ingest}@{batch}"] = {
+                "seconds": seconds[ingest],
+            }
+        payload["batch_sizes"][str(batch)] = {
+            "per_edge_seconds": seconds["per_edge"],
+            "columnar_seconds": seconds["columnar"],
+            "speedup": seconds["per_edge"] / seconds["columnar"],
+            "columnar_events_per_second": num_events / seconds["columnar"],
+        }
+    return rows, payload
+
+
 def delta_table(current: dict[str, dict], baseline: dict[str, dict]) -> str:
     """Markdown baseline-vs-current table (advisory, never gated)."""
     lines = [
@@ -168,10 +223,16 @@ def main(argv: list[str] | None = None) -> int:
     current.update(run_fig06_t9(stream, suite, query))
     current.update(run_fig13_micro(stream, suite, query))
     current.update(run_fig13_shards(stream, suite, query))
+    ingest_rows, ingest_payload = run_ingest(stream, suite, query)
+    current.update(ingest_rows)
 
     with open(OUTPUT_PATH, "w", encoding="utf-8") as fh:
         json.dump(current, fh, indent=2, sort_keys=True)
     print(f"wrote {OUTPUT_PATH}")
+
+    with open(INGEST_OUTPUT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(ingest_payload, fh, indent=2, sort_keys=True)
+    print(f"wrote {INGEST_OUTPUT_PATH}")
 
     os.makedirs(os.path.dirname(TREND_PATH), exist_ok=True)
     sample = {

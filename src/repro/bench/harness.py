@@ -87,6 +87,7 @@ def run_mnemonic_stream(
     storage: "StorageConfig | None" = None,
     fault: FaultPolicy | None = None,
     kernel: str = "columnar",
+    ingest: str = "columnar",
     query_name: str = "query",
 ) -> BenchRun:
     """Run the Mnemonic engine over ``stream`` and time the streaming part.
@@ -118,6 +119,7 @@ def run_mnemonic_stream(
         storage=storage,
         fault=fault or FaultPolicy(),
         kernel=kernel,
+        ingest=ingest,
     )
     # Engine construction spawns the persistent worker pool (process
     # backend), so pool start-up is part of setup — not of the measured
@@ -142,7 +144,11 @@ def run_mnemonic_stream(
             "enumeration_phases": engine.enumeration_phases_with_units,
             "pool_phases": engine.pool_enumeration_phases,
             "fault_stats": engine.fault_stats(),
+            "phase_split": result.phase_split(),
         }
+        pool = getattr(engine, "_pool", None)
+        if pool is not None:
+            extra["publish_stats"] = pool.publish_stats
         if storage is not None:
             extra.update(engine.storage_counters())
         return BenchRun(
@@ -172,6 +178,7 @@ def run_sharded_stream(
     collect_embeddings: bool = False,
     recycle_edge_ids: bool = True,
     kernel: str = "columnar",
+    ingest: str = "columnar",
     strategy=None,
     query_name: str = "query",
 ) -> BenchRun:
@@ -190,6 +197,7 @@ def run_sharded_stream(
         collect_embeddings=collect_embeddings,
         recycle_edge_ids=recycle_edge_ids,
         kernel=kernel,
+        ingest=ingest,
         shards=shards,
     )
     engine = ShardedEngine(query, match_def=match_def, config=config, strategy=strategy)
@@ -216,6 +224,7 @@ def run_sharded_stream(
                 "frontier": engine.frontier_stats(),
                 "snapshot_exports": engine.snapshot_exports,
                 "memory": engine.memory_report(),
+                "phase_split": result.phase_split(),
             },
             run_result=result,
         )

@@ -69,6 +69,11 @@ class EngineConfig:
     #: enumerate/accept hooks); "python" forces the tuple-at-a-time
     #: reference path
     kernel: str = "columnar"
+    #: ingest path: "columnar" decodes each batch once into contiguous
+    #: columns and applies graph/DEBI/index mutations with vectorized bulk
+    #: operations; "per_edge" forces the event-at-a-time reference path.
+    #: Both produce bit-identical edge ids, index bits and scan counters.
+    ingest: str = "columnar"
     #: durable state: journal + checkpoints + spillable DEBI (None = volatile)
     storage: StorageConfig | None = None
     #: how pool faults are handled: respawn budget, backoff, epoch deadline
@@ -84,6 +89,11 @@ class EngineConfig:
             raise ConfigurationError(
                 f"unknown enumeration kernel {self.kernel!r}; "
                 "expected 'columnar' or 'python'"
+            )
+        if self.ingest not in ("columnar", "per_edge"):
+            raise ConfigurationError(
+                f"unknown ingest path {self.ingest!r}; "
+                "expected 'columnar' or 'per_edge'"
             )
         if self.shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
@@ -153,6 +163,32 @@ class RunResult:
     @property
     def total_filter_traversals(self) -> int:
         return sum(s.filter_traversals for s in self.snapshots)
+
+    @property
+    def total_graph_update_seconds(self) -> float:
+        return sum(s.graph_update_seconds for s in self.snapshots)
+
+    @property
+    def total_filter_seconds(self) -> float:
+        return sum(s.filter_seconds for s in self.snapshots)
+
+    @property
+    def total_enumerate_seconds(self) -> float:
+        return sum(s.enumerate_seconds for s in self.snapshots)
+
+    def phase_split(self) -> dict[str, float]:
+        """CPU split of the run by pipeline phase (the Figure 7 breakdown).
+
+        ``update`` is graph mutation + deletion resolution, ``filter`` the
+        DEBI/index maintenance, ``enumerate`` the embedding search wall
+        time (which, on the pool backend, includes snapshot publication —
+        see the pool's ``publish_stats`` for that share).
+        """
+        return {
+            "update_seconds": self.total_graph_update_seconds,
+            "filter_seconds": self.total_filter_seconds,
+            "enumerate_seconds": self.total_enumerate_seconds,
+        }
 
     @property
     def total_candidates_scanned(self) -> int:
@@ -470,8 +506,23 @@ class MnemonicEngine(PoolOwnerMixin):
         Returns the number of edges loaded.
         """
         coerced = [self._coerce_insert(event) for event in events]
-        new_ids: list[int] = [self._insert_event(event) for event in coerced]
-        self.index_manager.handle_insertions(new_ids)
+        if coerced and self.config.ingest == "columnar" and hasattr(
+            self.graph, "apply_insert_columns"
+        ):
+            from repro.streams.events import EventColumns
+
+            columns = EventColumns.from_events(EventKind.INSERT, coerced)
+            new_ids = self.graph.apply_insert_columns(
+                columns.src, columns.dst, columns.label, columns.timestamp,
+                columns.src_label, columns.dst_label,
+            )
+            self.pipeline_edges_inserted(new_ids)
+            self.index_manager.handle_insert_columns(
+                new_ids, columns.src, columns.dst, columns.label
+            )
+        else:
+            new_ids = [self._insert_event(event) for event in coerced]
+            self.index_manager.handle_insertions(new_ids)
         if self._storage is not None:
             self._storage.note_initial(coerced)
         return len(new_ids)
@@ -629,6 +680,13 @@ class MnemonicEngine(PoolOwnerMixin):
         if self.external_store is not None:
             self._insertion_order.append(edge_id)
 
+    def pipeline_edges_inserted(self, edge_ids) -> None:
+        """Bulk :meth:`pipeline_edge_inserted` (columnar ingest path)."""
+        if self._spilled_edge_ids:
+            self._spilled_edge_ids.difference_update(edge_ids)
+        if self.external_store is not None:
+            self._insertion_order.extend(edge_ids)
+
     def pipeline_edge_deleted(self, edge_id: int) -> None:
         self._spilled_edge_ids.discard(edge_id)
 
@@ -689,7 +747,9 @@ class MnemonicEngine(PoolOwnerMixin):
             # only once its results reached the client, so recovery replays
             # exactly the delivered prefix and the client refeeds the rest.
             self._storage.seal_epoch(
-                batch.number, batch.insert_events, batch.delete_events,
+                batch.number,
+                batch.insert_columns or batch.insert_events,
+                batch.delete_columns or batch.delete_events,
                 self._checkpoint_state,
             )
         return result

@@ -101,6 +101,16 @@ class IndexManager:
         pool = self.graph.candidate_pool(vertex, out, label)
         return pool if isinstance(pool, list) else pool.tolist()
 
+    def _pool_array(self, vertex: int, out: bool, tree_edge: TreeEdge) -> np.ndarray:
+        """:meth:`_candidate_scan` as an int64 array (no list round-trip)."""
+        label = tree_edge.query_edge.label
+        if not self._label_partitioned or label == WILDCARD_LABEL:
+            label = None
+        pool = self.graph.candidate_pool(vertex, out, label)
+        if isinstance(pool, np.ndarray):
+            return pool
+        return np.asarray(pool, dtype=np.int64)
+
     # ------------------------------------------------------------------ consistency predicates
     def down_ok(self, vertex: int, query_node: int) -> bool:
         """Does ``vertex`` have supported candidate edges for every child of ``query_node``?"""
@@ -170,6 +180,162 @@ class IndexManager:
                 self.debi.set(eid, tree_edge.column)
                 parent_vertex = self.parent_endpoint(record, tree_edge)
                 frontier.seed_vertex(tree_edge.parent, parent_vertex)
+
+        self._refresh_roots_after_insert(frontier)
+        self.total_traversals += frontier.traversed_edges
+        self.last_batch_traversals = frontier.traversed_edges
+        return frontier
+
+    def handle_insert_columns(self, new_edge_ids, src, dst, label) -> UnifiedFrontier:
+        """Columnar :meth:`handle_insertions`: same final DEBI state and counters.
+
+        ``src``/``dst``/``label`` are the decoded int64 event columns
+        aligned with ``new_edge_ids``.  For the default (label-equality)
+        matcher the seed step becomes one boolean mask per query-tree
+        column instead of ``|batch| x |columns|`` Python matcher calls,
+        and the propagation step evaluates whole candidate arrays with a
+        vectorized skip mask, a vectorized label matcher and a per-column
+        ``down_ok`` memo.  The memo is parity-safe because ``down_ok`` of
+        a column's child reads only strictly deeper columns, which are
+        final before the column's pass starts.  Custom matchers fall back
+        to per-edge evaluation (identical to :meth:`handle_insertions`).
+        """
+        frontier = UnifiedFrontier()
+        ids = np.asarray(new_edge_ids, dtype=np.int64)
+        n = int(ids.shape[0])
+        default_matcher = (
+            type(self.match_def).edge_matcher is MatchDefinition.edge_matcher
+        )
+        vertex_label = self.graph.vertex_label
+
+        # -- seed: schedule each new edge at every column it matches
+        if n and default_matcher:
+            src_arr = np.asarray(src, dtype=np.int64)
+            dst_arr = np.asarray(dst, dtype=np.int64)
+            label_arr = np.asarray(label, dtype=np.int64)
+            # vertex labels must come from the graph, not the event columns:
+            # an event carrying label 0 keeps a vertex's existing label
+            uniq, inverse = np.unique(
+                np.concatenate([src_arr, dst_arr]), return_inverse=True
+            )
+            uniq_labels = np.fromiter(
+                (vertex_label(v) for v in uniq.tolist()),
+                dtype=np.int64, count=int(uniq.shape[0]),
+            )
+            endpoint_labels = uniq_labels[inverse]
+            src_vlab = endpoint_labels[:n]
+            dst_vlab = endpoint_labels[n:]
+            for tree_edge in self.tree.tree_edges:
+                q_edge = tree_edge.query_edge
+                mask = np.ones(n, dtype=bool)
+                q_src_label = self.query.node_label(q_edge.src)
+                q_dst_label = self.query.node_label(q_edge.dst)
+                if q_src_label != WILDCARD_LABEL:
+                    mask &= src_vlab == q_src_label
+                if q_dst_label != WILDCARD_LABEL:
+                    mask &= dst_vlab == q_dst_label
+                if q_edge.label != WILDCARD_LABEL:
+                    mask &= label_arr == q_edge.label
+                matched = ids[mask]
+                if matched.shape[0]:
+                    frontier.seed_edges(tree_edge.column, matched)
+        elif n:
+            for eid in ids.tolist():
+                record = self.graph.edge(eid)
+                for tree_edge in self.tree.tree_edges:
+                    if self.match_def.edge_matcher(
+                        self.query, self.graph, tree_edge.query_edge, record
+                    ):
+                        frontier.seed_edge(tree_edge.column, eid)
+
+        # -- propagate bottom-up, one batched pass per column
+        debi = self.debi
+        graph = self.graph
+        for tree_edge in self._columns_bottom_up:
+            parts = [frontier.edges_for(tree_edge.column)]
+            for vertex in frontier.vertices_for(tree_edge.child).tolist():
+                pool = self._pool_array(
+                    vertex, tree_edge.query_edge.src == tree_edge.child, tree_edge
+                )
+                if pool.shape[0]:
+                    parts.append(pool)
+            candidates = (
+                np.unique(np.concatenate(parts)) if len(parts) > 1 else parts[0]
+            )
+            num_candidates = int(candidates.shape[0])
+            if num_candidates == 0:
+                continue
+            # one evaluation per candidate, exactly like the per-edge loop
+            frontier.count_traversal(num_candidates)
+            unset = candidates[~debi.column_mask(candidates, tree_edge.column)]
+            if unset.shape[0] == 0:
+                continue
+            newly: list[int] = []
+            down_memo: dict[int, bool] = {}
+            if default_matcher:
+                child_is_dst = tree_edge.query_edge.src != tree_edge.child
+                e_src = graph.endpoint_array(unset, take_dst=False)
+                e_dst = graph.endpoint_array(unset, take_dst=True)
+                k = int(unset.shape[0])
+                q_edge = tree_edge.query_edge
+                mask = np.ones(k, dtype=bool)
+                if q_edge.label != WILDCARD_LABEL:
+                    mask &= graph.edge_labels(unset) == q_edge.label
+                q_src_label = self.query.node_label(q_edge.src)
+                q_dst_label = self.query.node_label(q_edge.dst)
+                if q_src_label != WILDCARD_LABEL or q_dst_label != WILDCARD_LABEL:
+                    uniq, inverse = np.unique(
+                        np.concatenate([e_src, e_dst]), return_inverse=True
+                    )
+                    uniq_labels = np.fromiter(
+                        (vertex_label(v) for v in uniq.tolist()),
+                        dtype=np.int64, count=int(uniq.shape[0]),
+                    )
+                    endpoint_labels = uniq_labels[inverse]
+                    if q_src_label != WILDCARD_LABEL:
+                        mask &= endpoint_labels[:k] == q_src_label
+                    if q_dst_label != WILDCARD_LABEL:
+                        mask &= endpoint_labels[k:] == q_dst_label
+                child_eps = (e_dst if child_is_dst else e_src).tolist()
+                parent_eps = (e_src if child_is_dst else e_dst).tolist()
+                unset_list = unset.tolist()
+                seeded_parents: list[int] = []
+                down_ok = self.down_ok
+                child_node = tree_edge.child
+                for i in np.nonzero(mask)[0].tolist():
+                    child_vertex = child_eps[i]
+                    ok = down_memo.get(child_vertex)
+                    if ok is None:
+                        ok = down_memo[child_vertex] = down_ok(
+                            child_vertex, child_node
+                        )
+                    if not ok:
+                        continue
+                    newly.append(unset_list[i])
+                    seeded_parents.append(parent_eps[i])
+                if seeded_parents:
+                    frontier.seed_vertices(tree_edge.parent, seeded_parents)
+            else:
+                for eid in unset.tolist():
+                    record = graph.edge(eid)
+                    if not self.match_def.edge_matcher(
+                        self.query, graph, tree_edge.query_edge, record
+                    ):
+                        continue
+                    child_vertex = self.child_endpoint(record, tree_edge)
+                    ok = down_memo.get(child_vertex)
+                    if ok is None:
+                        ok = down_memo[child_vertex] = self.down_ok(
+                            child_vertex, tree_edge.child
+                        )
+                    if not ok:
+                        continue
+                    newly.append(eid)
+                    frontier.seed_vertex(
+                        tree_edge.parent, self.parent_endpoint(record, tree_edge)
+                    )
+            if newly:
+                debi.set_edges(np.asarray(newly, dtype=np.int64), tree_edge.column)
 
         self._refresh_roots_after_insert(frontier)
         self.total_traversals += frontier.traversed_edges

@@ -93,6 +93,13 @@ class UnifiedFrontier:
             arena = self._vertex_arenas[query_node] = _IdArena()
         arena.append(vertex)
 
+    def seed_vertices(self, query_node: int, vertices) -> None:
+        """Bulk :meth:`seed_vertex` (any int sequence/array)."""
+        arena = self._vertex_arenas.get(query_node)
+        if arena is None:
+            arena = self._vertex_arenas[query_node] = _IdArena()
+        arena.extend(vertices)
+
     def edges_for(self, column: int) -> np.ndarray:
         """Distinct edge ids scheduled at ``column`` so far (sorted array)."""
         arena = self._edge_arenas.get(column)

@@ -746,6 +746,16 @@ class SharedMemoryPool:
         """How many snapshot exports this pool has performed (one per publish)."""
         return self._writer.epoch
 
+    @property
+    def publish_stats(self) -> dict:
+        """Publication regime split: dirty-slice vs full-copy counts + wall time."""
+        return {
+            "publish_count": self._writer.epoch,
+            "dirty_publishes": self._writer.dirty_publishes,
+            "full_publishes": self._writer.full_publishes,
+            "publish_seconds": self._writer.publish_seconds,
+        }
+
     # ------------------------------------------------------------------ execution
     def run(
         self,

@@ -58,6 +58,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator, Protocol, Sequence
 
+import numpy as np
+
 from repro.core.parallel import (
     DispatchedEpoch,
     EnumerationOutcome,
@@ -147,6 +149,11 @@ class PipelineHost(Protocol):
         """Post-insert bookkeeping hook (e.g. external-store insertion order)."""
         ...
 
+    def pipeline_edges_inserted(self, edge_ids) -> None:
+        """Bulk :meth:`pipeline_edge_inserted` for the columnar path."""
+        for edge_id in edge_ids:
+            self.pipeline_edge_inserted(edge_id)
+
     def pipeline_edge_deleted(self, edge_id: int) -> None:
         """Post-delete bookkeeping hook (e.g. spilled-id set maintenance)."""
         ...
@@ -208,6 +215,11 @@ class CompletedBatch:
     #: epoch at delivery time (sealing happens in stream order)
     insert_events: "Sequence[StreamEvent]" = ()
     delete_events: "Sequence[StreamEvent]" = ()
+    #: the columnar decodes of the same events (when the batch ran through
+    #: the columnar ingest path) — durable engines seal the journal epoch
+    #: straight from these, skipping the per-event tuple walk
+    insert_columns: "object | None" = None
+    delete_columns: "object | None" = None
 
     def phases(self) -> Iterator[PhaseOutcome]:
         if self.insert_phase is not None:
@@ -296,10 +308,16 @@ class BatchPipeline:
             insert_events=tuple(insertions),
             delete_events=tuple(deletions),
         )
+        batch.insert_columns = self._decode_columns(True, insertions)
+        batch.delete_columns = self._decode_columns(False, deletions)
         if insertions:
-            batch.insert_phase = self._run_insert_phase(insertions, overlap=False)
+            batch.insert_phase = self._run_insert_phase(
+                insertions, overlap=False, columns=batch.insert_columns
+            )
         if deletions:
-            batch.delete_phase = self._run_delete_phase(deletions, overlap=False)
+            batch.delete_phase = self._run_delete_phase(
+                deletions, overlap=False, columns=batch.delete_columns
+            )
         return batch
 
     def run_stream(self, snapshots: Iterable["Snapshot"]) -> Iterator[CompletedBatch]:
@@ -330,13 +348,19 @@ class BatchPipeline:
                 insert_events=tuple(snapshot.insertions),
                 delete_events=tuple(snapshot.deletions),
             )
+            # Sealed snapshots cache their own decode — reuse it so an
+            # ingest tier that already decoded (fan-out, journal) shares
+            # the arrays with the engine.
+            if self._columnar_enabled():
+                batch.insert_columns = snapshot.insert_columns()
+                batch.delete_columns = snapshot.delete_columns()
             if snapshot.insertions:
                 batch.insert_phase = self._run_insert_phase(
-                    snapshot.insertions, overlap=True
+                    snapshot.insertions, overlap=True, columns=batch.insert_columns
                 )
             if snapshot.deletions:
                 batch.delete_phase = self._run_delete_phase(
-                    snapshot.deletions, overlap=True
+                    snapshot.deletions, overlap=True, columns=batch.delete_columns
                 )
             self.host.pipeline_batch_applied(batch)
             inflight.append(batch)
@@ -362,9 +386,34 @@ class BatchPipeline:
         while self._pending:
             self._drain_oldest()
 
+    # ------------------------------------------------------------------ columnar ingest
+    def _columnar_enabled(self) -> bool:
+        """Does the host want (and its graph support) the columnar ingest path?"""
+        graph = self.host.graph
+        return (
+            getattr(self.host.config, "ingest", "columnar") == "columnar"
+            and hasattr(graph, "apply_insert_columns")
+            and hasattr(graph, "apply_delete_columns")
+        )
+
+    def _decode_columns(self, positive: bool, events: Sequence["StreamEvent"]):
+        """Decode one phase's events into :class:`EventColumns`, or None.
+
+        None means the phase runs on the per-edge reference path (columnar
+        ingest disabled, no events, or an unsupported graph).  The decode
+        happens once per batch; the graph apply, the DEBI/index update and
+        the journal seal all reuse the same arrays.
+        """
+        if not events or not self._columnar_enabled():
+            return None
+        from repro.streams.events import EventColumns, EventKind
+
+        kind = EventKind.INSERT if positive else EventKind.DELETE
+        return EventColumns.from_events(kind, events)
+
     # ------------------------------------------------------------------ insert phase
     def _run_insert_phase(
-        self, events: Sequence["StreamEvent"], overlap: bool
+        self, events: Sequence["StreamEvent"], overlap: bool, columns=None
     ) -> PhaseOutcome:
         host = self.host
         graph = host.graph
@@ -372,27 +421,43 @@ class BatchPipeline:
         phase = PhaseOutcome(positive=True, num_events=len(events))
 
         update_start = time.perf_counter()
-        new_ids = []
-        for event in events:
-            edge_id = graph.add_edge(
-                event.src, event.dst, event.label, event.timestamp,
-                src_label=event.src_label, dst_label=event.dst_label,
+        if columns is not None:
+            new_ids = graph.apply_insert_columns(
+                columns.src, columns.dst, columns.label, columns.timestamp,
+                columns.src_label, columns.dst_label,
             )
-            host.pipeline_edge_inserted(edge_id)
-            new_ids.append(edge_id)
+            host.pipeline_edges_inserted(new_ids)
+        else:
+            new_ids = []
+            for event in events:
+                edge_id = graph.add_edge(
+                    event.src, event.dst, event.label, event.timestamp,
+                    src_label=event.src_label, dst_label=event.dst_label,
+                )
+                host.pipeline_edge_inserted(edge_id)
+                new_ids.append(edge_id)
         phase.graph_update_seconds += time.perf_counter() - update_start
 
+        if columns is not None and all(
+            hasattr(rt.index_manager, "handle_insert_columns")
+            for rt in slots.values()
+        ):
+            ids_arr = np.asarray(new_ids, dtype=np.int64)
+            index = lambda runtime: runtime.index_manager.handle_insert_columns(
+                ids_arr, columns.src, columns.dst, columns.label
+            )
+        else:
+            index = lambda runtime: runtime.index_manager.handle_insertions(new_ids)
         batch_ids = set(new_ids)
         contexts, units = self._index_and_decompose(
-            slots, phase, batch_ids, new_ids, positive=True,
-            index=lambda runtime: runtime.index_manager.handle_insertions(new_ids),
+            slots, phase, batch_ids, new_ids, positive=True, index=index,
         )
         self._enumerate_phase(phase, slots, contexts, units, overlap=overlap)
         return phase
 
     # ------------------------------------------------------------------ delete phase
     def _run_delete_phase(
-        self, events: Sequence["StreamEvent"], overlap: bool
+        self, events: Sequence["StreamEvent"], overlap: bool, columns=None
     ) -> PhaseOutcome:
         from repro.core.registry import resolve_deletions
 
@@ -421,15 +486,38 @@ class BatchPipeline:
         # published above — they read the frozen pre-delete snapshot.
         apply_start = time.perf_counter()
         deleted: list[tuple] = []
-        for edge_id in doomed_ids:
-            row_masks = {
-                qid: runtime.debi.row(edge_id) for qid, runtime in slots.items()
+        if (
+            columns is not None
+            and doomed_ids
+            and all(hasattr(rt.debi, "rows") for rt in slots.values())
+        ):
+            # Columnar variant: gather every query's row masks in one
+            # vectorized pass (reads are unaffected by the graph deletes),
+            # apply the deletes in event order (free-list parity), then
+            # clear all DEBI rows with one bulk write per query.
+            mask_lists = {
+                qid: runtime.debi.rows(doomed_ids) for qid, runtime in slots.items()
             }
-            record = graph.delete_edge(edge_id)
+            records = graph.apply_delete_columns(doomed_ids)
+            ids_arr = np.asarray(doomed_ids, dtype=np.int64)
             for runtime in slots.values():
-                runtime.debi.clear_edge(edge_id)
-            host.pipeline_edge_deleted(edge_id)
-            deleted.append((record, row_masks))
+                runtime.debi.clear_edges(ids_arr)
+            for edge_id in doomed_ids:
+                host.pipeline_edge_deleted(edge_id)
+            deleted = [
+                (record, {qid: masks[i] for qid, masks in mask_lists.items()})
+                for i, record in enumerate(records)
+            ]
+        else:
+            for edge_id in doomed_ids:
+                row_masks = {
+                    qid: runtime.debi.row(edge_id) for qid, runtime in slots.items()
+                }
+                record = graph.delete_edge(edge_id)
+                for runtime in slots.values():
+                    runtime.debi.clear_edge(edge_id)
+                host.pipeline_edge_deleted(edge_id)
+                deleted.append((record, row_masks))
         phase.graph_update_seconds += time.perf_counter() - apply_start
 
         for qid, runtime in slots.items():

@@ -601,15 +601,30 @@ class MultiQueryEngine(PoolOwnerMixin):
         from repro.core.engine import MnemonicEngine
 
         coerced = [MnemonicEngine._coerce_insert(event) for event in events]
-        new_ids = [
-            self.graph.add_edge(
-                event.src, event.dst, event.label, event.timestamp,
-                src_label=event.src_label, dst_label=event.dst_label,
+        if coerced and self.config.ingest == "columnar" and hasattr(
+            self.graph, "apply_insert_columns"
+        ):
+            from repro.streams.events import EventColumns, EventKind
+
+            columns = EventColumns.from_events(EventKind.INSERT, coerced)
+            new_ids = self.graph.apply_insert_columns(
+                columns.src, columns.dst, columns.label, columns.timestamp,
+                columns.src_label, columns.dst_label,
             )
-            for event in coerced
-        ]
-        for _, registered in self.registry.items():
-            registered.runtime.index_manager.handle_insertions(new_ids)
+            for _, registered in self.registry.items():
+                registered.runtime.index_manager.handle_insert_columns(
+                    new_ids, columns.src, columns.dst, columns.label
+                )
+        else:
+            new_ids = [
+                self.graph.add_edge(
+                    event.src, event.dst, event.label, event.timestamp,
+                    src_label=event.src_label, dst_label=event.dst_label,
+                )
+                for event in coerced
+            ]
+            for _, registered in self.registry.items():
+                registered.runtime.index_manager.handle_insertions(new_ids)
         if self._storage is not None:
             self._storage.note_initial(coerced)
         return len(new_ids)
@@ -712,6 +727,9 @@ class MultiQueryEngine(PoolOwnerMixin):
     def pipeline_edge_inserted(self, edge_id: int) -> None:
         pass
 
+    def pipeline_edges_inserted(self, edge_ids) -> None:
+        pass
+
     def pipeline_edge_deleted(self, edge_id: int) -> None:
         pass
 
@@ -798,7 +816,9 @@ class MultiQueryEngine(PoolOwnerMixin):
         if self._storage is not None:
             # Seal at delivery, in stream order (see MnemonicEngine).
             self._storage.seal_epoch(
-                batch.number, batch.insert_events, batch.delete_events,
+                batch.number,
+                batch.insert_columns or batch.insert_events,
+                batch.delete_columns or batch.delete_events,
                 self._checkpoint_state,
             )
         return multi

@@ -205,6 +205,12 @@ class RoutedGraph:
             -1, np.asarray(list(edge_ids), dtype=np.int64), take_dst
         ).tolist()
 
+    def edge_labels(self, edge_ids) -> np.ndarray:
+        ids = edge_ids.tolist() if hasattr(edge_ids, "tolist") else list(edge_ids)
+        return np.fromiter(
+            (self.edge(e).label for e in ids), dtype=np.int64, count=len(ids)
+        )
+
     # --- vertex keyed -------------------------------------------------
     def candidate_pool(self, vertex: int, out: bool, label: int | None = None):
         return self._router.owner_graph(vertex).candidate_pool(vertex, out, label)
@@ -282,6 +288,57 @@ class RoutedDEBI:
 
     def row(self, edge_id: int) -> int:
         return self._router.primary_debi(edge_id).row(edge_id)
+
+    # -------------------------------------------------------------- bulk (columnar ingest)
+    def _replica_groups(self, ids: np.ndarray):
+        """Yield ``(shard, ids_subset)`` covering every replica of ``ids``."""
+        primary = self._router._primary[ids]
+        secondary = self._router._secondary[ids]
+        for index, shard in enumerate(self._router.shards):
+            member = (primary == index) | (secondary == index)
+            if member.any():
+                yield shard, ids[member]
+
+    def set_edges(self, edge_ids, column: int) -> None:
+        ids = np.asarray(edge_ids, dtype=np.int64)
+        if ids.shape[0] == 0:
+            return
+        for shard, subset in self._replica_groups(ids):
+            shard.debi.set_edges(subset, column)  # type: ignore[union-attr]
+
+    def clear_edges(self, edge_ids) -> None:
+        ids = np.asarray(edge_ids, dtype=np.int64)
+        if ids.shape[0] == 0:
+            return
+        for shard, subset in self._replica_groups(ids):
+            shard.debi.clear_edges(subset)  # type: ignore[union-attr]
+
+    def rows(self, edge_ids) -> list[int]:
+        """Bulk :meth:`row`: primary-replica gather, scattered back in order."""
+        ids = np.asarray(edge_ids, dtype=np.int64)
+        out = np.zeros(ids.shape[0], dtype=np.uint64)
+        primary = self._router._primary[ids]
+        for index, shard in enumerate(self._router.shards):
+            member = primary == index
+            if member.any():
+                out[member] = np.asarray(
+                    shard.debi.rows(ids[member]), dtype=np.uint64  # type: ignore[union-attr]
+                )
+        return [int(v) for v in out.tolist()]
+
+    def column_mask(self, edge_ids, column: int) -> np.ndarray:
+        ids = np.asarray(edge_ids, dtype=np.int64)
+        mask = np.zeros(ids.shape[0], dtype=bool)
+        primary = self._router._primary[ids]
+        for index, shard in enumerate(self._router.shards):
+            member = primary == index
+            if member.any():
+                mask[member] = shard.debi.column_mask(ids[member], column)  # type: ignore[union-attr]
+        return mask
+
+    def roots_mask(self, vertices) -> np.ndarray:
+        """Root bits are broadcast, so any shard's vector answers the batch."""
+        return self._router.shards[0].debi.roots_mask(vertices)  # type: ignore[union-attr]
 
     def set_root(self, vertex: int) -> None:
         for shard in self._router.shards:
@@ -375,6 +432,12 @@ class ShardScopeGraph:
         return self._router.gather_endpoints(
             self._index, np.asarray(list(edge_ids), dtype=np.int64), take_dst
         ).tolist()
+
+    def edge_labels(self, edge_ids) -> np.ndarray:
+        ids = edge_ids.tolist() if hasattr(edge_ids, "tolist") else list(edge_ids)
+        return np.fromiter(
+            (self.edge(e).label for e in ids), dtype=np.int64, count=len(ids)
+        )
 
     # --- aggregates / publish seam ------------------------------------
     @property
@@ -529,6 +592,66 @@ class ShardRouter:
             placeholders=self.allocator.num_placeholders, live=self.num_edges
         )
         return edge_id
+
+    def insert_columns(self, columns) -> list[int]:
+        """Columnar :meth:`insert_edge`: one routed batch, bit-identical ids.
+
+        Placement and id allocation replay the per-event path exactly
+        (ownership is first-touch order-sensitive, the allocator's
+        per-source free lists are LIFO), then each shard receives its
+        events as one pre-split column batch — the primary rows plus the
+        boundary rows it stores as secondary replica, in event order —
+        applied with one :meth:`DynamicGraph.apply_insert_columns` call
+        under forced edge ids.
+        """
+        src_list = columns.src.tolist()
+        dst_list = columns.dst.tolist()
+        slab_list = columns.src_label.tolist()
+        dlab_list = columns.dst_label.tolist()
+        n = len(src_list)
+        if n == 0:
+            return []
+        touch = self.partition.touch
+        allocator = self.allocator
+        src_owners = np.empty(n, dtype=np.int64)
+        dst_owners = np.empty(n, dtype=np.int64)
+        new_ids: list[int] = []
+        recycled_before = allocator.recycled
+        for i in range(n):
+            src_owners[i] = touch(src_list[i], slab_list[i])
+            dst_owners[i] = touch(dst_list[i], dlab_list[i])
+            new_ids.append(allocator.allocate(src_list[i]))
+        num_recycled = allocator.recycled - recycled_before
+        for _ in range(num_recycled):
+            self.stats.record_recycle()
+        ids_arr = np.asarray(new_ids, dtype=np.int64)
+        self._ensure_capacity(int(ids_arr.max()))
+        secondary = np.where(dst_owners != src_owners, dst_owners, -1)
+
+        for index, shard in enumerate(self.shards):
+            member = (src_owners == index) | (secondary == index)
+            if not member.any():
+                continue
+            rows = np.nonzero(member)[0]
+            sub = columns.take(rows)
+            shard.graph.apply_insert_columns(
+                sub.src, sub.dst, sub.label, sub.timestamp,
+                sub.src_label, sub.dst_label, edge_ids=ids_arr[rows],
+            )
+            shard.mutations_applied += int(rows.shape[0])
+
+        self._primary[ids_arr] = src_owners
+        self._secondary[ids_arr] = secondary
+        self.num_edges += n
+        # Bulk equivalence of n record_insert calls: placeholders and live
+        # are monotone within an insert batch, so the final values realise
+        # both peaks.
+        self.stats.inserts += n
+        self.stats.peak_placeholders = max(
+            self.stats.peak_placeholders, allocator.num_placeholders
+        )
+        self.stats.peak_live = max(self.stats.peak_live, self.num_edges)
+        return new_ids
 
     def delete_edge(self, edge_id: int):
         """Delete ``edge_id`` from every replica; return its last record."""
@@ -728,9 +851,25 @@ class ShardedEngine:
     def load_initial(self, events: Iterable[StreamEvent | tuple]) -> int:
         """Load and index an initial graph (insertions only), no enumeration."""
         coerced = [self._coerce_insert(event) for event in events]
-        new_ids = [self.router.insert_edge(event) for event in coerced]
-        self.index_manager.handle_insertions(new_ids)
+        columns = self._decode_columns(True, coerced)
+        if columns is not None:
+            new_ids = self.router.insert_columns(columns)
+            self.index_manager.handle_insert_columns(
+                new_ids, columns.src, columns.dst, columns.label
+            )
+        else:
+            new_ids = [self.router.insert_edge(event) for event in coerced]
+            self.index_manager.handle_insertions(new_ids)
         return len(new_ids)
+
+    def _decode_columns(self, positive: bool, events: Sequence[StreamEvent]):
+        """One batch's columnar decode, or None on the per-edge reference path."""
+        if not events or self.config.ingest != "columnar":
+            return None
+        from repro.streams.events import EventColumns, EventKind
+
+        kind = EventKind.INSERT if positive else EventKind.DELETE
+        return EventColumns.from_events(kind, events)
 
     @staticmethod
     def _coerce_insert(event: StreamEvent | tuple) -> StreamEvent:
@@ -751,8 +890,14 @@ class ShardedEngine:
             return result
 
     def process_snapshot(self, snapshot: Snapshot) -> SnapshotResult:
+        # Sealed batches cache their columnar decode; reuse it so the
+        # fan-out tier and the engine never decode the same batch twice.
+        columns = (
+            snapshot.insert_columns() if self.config.ingest == "columnar" else None
+        )
         return self._process_batch(
-            snapshot.number, snapshot.insertions, snapshot.deletions
+            snapshot.number, snapshot.insertions, snapshot.deletions,
+            insert_columns=columns,
         )
 
     def batch_inserts(self, events: Iterable[StreamEvent | tuple]) -> SnapshotResult:
@@ -771,6 +916,7 @@ class ShardedEngine:
         number: int,
         insert_events: Sequence[StreamEvent],
         delete_events: Sequence[StreamEvent],
+        insert_columns=None,
     ) -> SnapshotResult:
         """One batch, single-engine serial semantics: inserts then deletes."""
         result = SnapshotResult(
@@ -779,12 +925,26 @@ class ShardedEngine:
             num_deletions=len(delete_events),
         )
         if insert_events:
+            columns = (
+                insert_columns
+                if insert_columns is not None
+                else self._decode_columns(True, insert_events)
+            )
             start = time.perf_counter()
-            new_ids = [self.router.insert_edge(event) for event in insert_events]
+            if columns is not None:
+                new_ids = self.router.insert_columns(columns)
+            else:
+                new_ids = [self.router.insert_edge(event) for event in insert_events]
             result.graph_update_seconds += time.perf_counter() - start
 
             start = time.perf_counter()
-            self.index_manager.handle_insertions(new_ids)
+            if columns is not None:
+                self.index_manager.handle_insert_columns(
+                    np.asarray(new_ids, dtype=np.int64),
+                    columns.src, columns.dst, columns.label,
+                )
+            else:
+                self.index_manager.handle_insertions(new_ids)
             result.filter_seconds += time.perf_counter() - start
             result.filter_traversals += self.index_manager.last_batch_traversals
 
@@ -801,15 +961,26 @@ class ShardedEngine:
 
             start = time.perf_counter()
             deleted: list[tuple] = []
-            for edge_id in doomed:
-                row_mask = self.routed_debi.row(edge_id)
-                # Clear the mirrored bits while the router still knows the
-                # replica set; delete_edge retires the id from the shard
-                # map, after which the replicas are unreachable and a
-                # recycled id would inherit stale bits.
-                self.routed_debi.clear_edge(edge_id)
-                record = self.router.delete_edge(edge_id)
-                deleted.append((record, row_mask))
+            if doomed and self.config.ingest == "columnar":
+                # Bulk variant of the loop below: capture every row mask and
+                # clear the mirrored bits while the router still knows each
+                # replica set, then retire the ids in event order so the
+                # free-list replay stays bit-identical to the per-edge path.
+                row_masks = self.routed_debi.rows(doomed)
+                self.routed_debi.clear_edges(np.asarray(doomed, dtype=np.int64))
+                for edge_id, row_mask in zip(doomed, row_masks):
+                    record = self.router.delete_edge(edge_id)
+                    deleted.append((record, row_mask))
+            else:
+                for edge_id in doomed:
+                    row_mask = self.routed_debi.row(edge_id)
+                    # Clear the mirrored bits while the router still knows the
+                    # replica set; delete_edge retires the id from the shard
+                    # map, after which the replicas are unreachable and a
+                    # recycled id would inherit stale bits.
+                    self.routed_debi.clear_edge(edge_id)
+                    record = self.router.delete_edge(edge_id)
+                    deleted.append((record, row_mask))
             result.graph_update_seconds += time.perf_counter() - start
 
             start = time.perf_counter()

@@ -43,6 +43,7 @@ old one.
 from __future__ import annotations
 
 import secrets
+import time
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -118,12 +119,40 @@ def _align(offset: int, alignment: int = 8) -> int:
 
 
 class _SegmentSlot:
-    """One shared-memory segment of the double-buffered writer."""
+    """One shared-memory segment of the double-buffered writer.
 
-    __slots__ = ("shm",)
+    Besides the segment itself the slot remembers the *reserved* layout of
+    its last full copy (per-array byte offset + reserved capacity), the
+    element count each array had when last written, and the dirty ranges
+    accumulated since — everything the dirty-slice publish needs to prove
+    the clean bytes already in the segment are current.
+    """
+
+    __slots__ = ("shm", "layout", "sizes", "pending")
 
     def __init__(self) -> None:
         self.shm: "SharedMemory | None" = None
+        #: name -> (dtype str, byte offset, reserved bytes); None = no layout yet
+        self.layout: dict[str, tuple[str, int, int]] | None = None
+        #: name -> element count at the last write into this slot
+        self.sizes: dict[str, int] = {}
+        #: dirty ranges accumulated since this slot was last written:
+        #: None = everything dirty (initial state / fallback); otherwise a
+        #: dict whose entries are name -> list of element ranges or name ->
+        #: None ("whole array dirty"); a missing name means "clean"
+        self.pending: dict[str, "list[tuple[int, int]] | None"] | None = None
+
+    def merge_pending(self, spec: dict) -> None:
+        """Fold one publication's dirty spec into this slot's backlog."""
+        if self.pending is None:
+            return  # already fully dirty — nothing can make it dirtier
+        for key, ranges in spec.items():
+            if ranges is None:
+                self.pending[key] = None
+            elif ranges:
+                existing = self.pending.get(key, [])
+                if existing is not None:
+                    self.pending[key] = existing + list(ranges)
 
     def ensure_capacity(self, needed: int) -> None:
         """(Re)allocate the segment so it holds ``needed`` bytes."""
@@ -145,6 +174,9 @@ class _SegmentSlot:
             except (FileNotFoundError, OSError):  # pragma: no cover - already gone
                 pass
             self.shm = None
+        self.layout = None
+        self.sizes = {}
+        self.pending = None
 
 
 class SharedSnapshotWriter:
@@ -162,6 +194,14 @@ class SharedSnapshotWriter:
             raise ValueError("num_slots must be >= 1")
         self._slots = [_SegmentSlot() for _ in range(num_slots)]
         self._epoch = 0
+        #: last observed ``graph.export_count`` — the dirty-slice chain is
+        #: valid only when every export of the graph went through this
+        #: writer; an interloper export consumes splice dirt we never saw
+        self._graph_export_count: int | None = None
+        #: publication-regime counters (perf-trend / phase-split reporting)
+        self.full_publishes = 0
+        self.dirty_publishes = 0
+        self.publish_seconds = 0.0
 
     # ------------------------------------------------------------------ publication
     def publish(
@@ -180,7 +220,18 @@ class SharedSnapshotWriter:
         epoch, the layout of every array (dtype / shape / byte offset)
         and the scalar metadata workers need to rebuild graph + DEBI
         views.
+
+        Dirty-slice regime: the graph's spliced export and each DEBI's
+        ledger report which element ranges changed since the previous
+        export/publish.  Those specs accumulate per slot (a slot is
+        rewritten only every ``num_slots`` epochs), and when the target
+        slot's reserved layout still fits, only its accumulated dirty
+        ranges are memcpy'd — the clean bytes already in the segment are
+        provably current.  Any doubt (first publish, layout change,
+        capacity overflow, full CSR rebuild, an export this writer did
+        not perform) falls back to the full copy.
         """
+        start = time.perf_counter()
         if not isinstance(debis, dict):
             debis = {0: debis}
         # The live DynamicGraph offers a journal-driven incremental export
@@ -189,6 +240,22 @@ class SharedSnapshotWriter:
         export_delta = getattr(graph, "export_csr_delta", None)
         csr = export_delta() if export_delta is not None else graph.export_csr()
         arrays = dict(csr.arrays())
+
+        # -- this publication's dirty spec (changes since the previous export)
+        exports = getattr(graph, "export_count", None)
+        chain_ok = (
+            exports is not None
+            and self._graph_export_count is not None
+            and exports == self._graph_export_count + 1
+        )
+        self._graph_export_count = exports
+        csr_dirty = getattr(csr, "dirty", None)
+        spec: dict[str, list[tuple[int, int]] | None]
+        if chain_ok and csr_dirty is not None:
+            spec = dict(csr_dirty)
+        else:
+            spec = {key: None for key in arrays}
+
         debi_meta: dict[int, dict] = {}
         for qid, debi in debis.items():
             buffers = debi.export_buffers()
@@ -199,29 +266,31 @@ class SharedSnapshotWriter:
                 "width": buffers["width"],
                 "root_bits": buffers["root_bits"],
             }
+            consume = getattr(debi, "consume_publish_dirty", None)
+            if consume is not None:
+                row_ranges, root_ranges = consume()
+            else:  # pragma: no cover - non-DEBI lookalike
+                row_ranges = root_ranges = None
+            spec[f"debi_rows_{qid}"] = row_ranges
+            spec[f"debi_roots_{qid}"] = root_ranges
         arrays["batch_edges"] = np.fromiter(
             batch_edge_ids, dtype=np.int64, count=len(batch_edge_ids)
         )
+        spec["batch_edges"] = None  # a fresh id set every epoch
 
-        layout: dict[str, tuple[str, tuple[int, ...], int]] = {}
-        offset = 0
-        for key, arr in arrays.items():
-            offset = _align(offset)
-            layout[key] = (arr.dtype.str, arr.shape, offset)
-            offset += arr.nbytes
-        total = max(offset, 1)
+        # Fold the spec into every slot *before* writing: the target slot
+        # was last written ``num_slots`` epochs ago, so its backlog must
+        # include this publication's changes too.
+        for slot in self._slots:
+            slot.merge_pending(spec)
 
         # The *next* epoch decides the slot, so consecutive epochs always
         # land in different segments (double-buffer invariant).
         slot = self._slots[(self._epoch + 1) % len(self._slots)]
-        slot.ensure_capacity(total)
-        buf = slot.shm.buf
-        for key, arr in arrays.items():
-            dtype, shape, off = layout[key]
-            dest = np.ndarray(shape, dtype=dtype, buffer=buf, offset=off)
-            dest[:] = arr
+        layout = self._write_slot(slot, arrays)
 
         self._epoch += 1
+        self.publish_seconds += time.perf_counter() - start
         return {
             "name": slot.shm.name,
             "epoch": self._epoch,
@@ -230,6 +299,83 @@ class SharedSnapshotWriter:
             "debi_meta": debi_meta,
             "positive": positive,
         }
+
+    def _write_slot(
+        self, slot: _SegmentSlot, arrays: dict[str, np.ndarray]
+    ) -> dict[str, tuple[str, tuple[int, ...], int]]:
+        """Copy ``arrays`` into ``slot`` (dirty slices only, when provable).
+
+        Returns the descriptor layout (dtype / shape / byte offset per
+        array).  The dirty path requires: a previous full copy laid the
+        slot out with the same array names and dtypes, every array still
+        fits its reserved capacity, and the slot's dirty backlog is
+        intact.  Otherwise everything is rewritten under a fresh
+        reserved layout (per-array slack, so steady growth keeps offsets
+        stable across many publications).
+        """
+        keys = list(arrays)
+        can_dirty = (
+            slot.shm is not None
+            and slot.layout is not None
+            and slot.pending is not None
+            and list(slot.layout) == keys
+            and all(
+                arrays[k].ndim == 1
+                and arrays[k].dtype.str == slot.layout[k][0]
+                and arrays[k].nbytes <= slot.layout[k][2]
+                for k in keys
+            )
+        )
+        descriptor: dict[str, tuple[str, tuple[int, ...], int]] = {}
+        if not can_dirty:
+            reserved_layout: dict[str, tuple[str, int, int]] = {}
+            offset = 0
+            for key, arr in arrays.items():
+                offset = _align(offset)
+                reserved = _align(max(arr.nbytes + arr.nbytes // 2, 64))
+                reserved_layout[key] = (arr.dtype.str, offset, reserved)
+                descriptor[key] = (arr.dtype.str, arr.shape, offset)
+                offset += reserved
+            slot.ensure_capacity(max(offset, 1))
+            buf = slot.shm.buf
+            for key, arr in arrays.items():
+                _, off, _ = reserved_layout[key]
+                dest = np.ndarray(arr.shape, dtype=arr.dtype, buffer=buf, offset=off)
+                dest[:] = arr
+            slot.layout = reserved_layout
+            slot.sizes = {key: int(arr.shape[0]) if arr.ndim == 1 else -1
+                          for key, arr in arrays.items()}
+            slot.pending = {}
+            self.full_publishes += 1
+            return descriptor
+
+        buf = slot.shm.buf
+        assert slot.layout is not None and slot.pending is not None
+        for key, arr in arrays.items():
+            dtype, off, _ = slot.layout[key]
+            n = int(arr.shape[0])
+            old_n = slot.sizes.get(key, 0)
+            dest = np.ndarray((n,), dtype=dtype, buffer=buf, offset=off)
+            if key in slot.pending and slot.pending[key] is None:
+                dest[:] = arr
+            elif n < old_n:
+                # Shrunk arrays (index rebuilds) lose positional stability;
+                # rewrite rather than reason about stale suffixes.
+                dest[:] = arr
+            else:
+                runs = slot.pending.get(key) or []
+                if n > old_n:
+                    runs = list(runs) + [(old_n, n)]
+                for lo, hi in runs:
+                    lo = max(int(lo), 0)
+                    hi = min(int(hi), n)
+                    if lo < hi:
+                        dest[lo:hi] = arr[lo:hi]
+            slot.sizes[key] = n
+            descriptor[key] = (dtype, arr.shape, off)
+        slot.pending = {}
+        self.dirty_publishes += 1
+        return descriptor
 
     @property
     def epoch(self) -> int:

@@ -28,7 +28,7 @@ to the number of *matching* edges rather than to vertex degree:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -39,6 +39,23 @@ from repro.utils.validation import GraphError
 
 _EMPTY_IDS: list[int] = []
 _EMPTY_ARRAY = np.empty(0, dtype=np.int64)
+
+
+def _coalesce_ranges(indices: Iterable[int]) -> list[tuple[int, int]]:
+    """Turn an index collection into sorted half-open ``(start, stop)`` runs."""
+    ordered = sorted(indices)
+    if not ordered:
+        return []
+    runs: list[tuple[int, int]] = []
+    start = prev = ordered[0]
+    for value in ordered[1:]:
+        if value == prev + 1:
+            prev = value
+            continue
+        runs.append((start, prev + 1))
+        start = prev = value
+    runs.append((start, prev + 1))
+    return runs
 
 
 class IntVector:
@@ -62,6 +79,20 @@ class IntVector:
             self._data = grown
         self._data[self._n] = value
         self._n += 1
+
+    def extend(self, values) -> None:
+        """Bulk append (amortized); ``values`` is any int64-coercible sequence."""
+        arr = np.asarray(values, dtype=np.int64)
+        needed = self._n + arr.shape[0]
+        if needed > self._data.shape[0]:
+            capacity = self._data.shape[0]
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=np.int64)
+            grown[: self._n] = self._data[: self._n]
+            self._data = grown
+        self._data[self._n : needed] = arr
+        self._n = needed
 
     def swap_pop(self, value: int) -> bool:
         """Remove one occurrence of ``value`` (swap-with-last); False if absent."""
@@ -130,6 +161,9 @@ class DynamicGraph:
 
         # Edge-id recycling: free ids keyed by the source vertex that owned them.
         self._free_ids: dict[int, list[int]] = defaultdict(list)
+        # Total ids across all free lists: lets the columnar insert path
+        # skip the per-event recycling replay when nothing is recyclable.
+        self._num_free_ids = 0
 
         # Resolution of (src, dst, label) triples to live edge ids (multi-edge aware).
         self._triple_index: dict[tuple[int, int, int], list[int]] = defaultdict(list)
@@ -144,6 +178,10 @@ class DynamicGraph:
         self._journal_edges: set[int] = set()
         self._journal_vertices: set[int] = set()
         self._csr_cache: "CSRSnapshot | None" = None
+        # Monotone export counter: the shared-snapshot writer uses it to
+        # detect interloping exports (anything that consumed the journal
+        # between two publishes) before trusting a dirty-slice copy.
+        self._export_count = 0
 
     # ------------------------------------------------------------------ pickling
     def __getstate__(self) -> dict:
@@ -162,6 +200,7 @@ class DynamicGraph:
         return state
 
     def __setstate__(self, state: dict) -> None:
+        state.setdefault("_export_count", 0)
         self.__dict__.update(state)
 
     # ------------------------------------------------------------------ vertices
@@ -280,6 +319,7 @@ class DynamicGraph:
             free = self._free_ids.get(src)
             if free:
                 self.stats.record_recycle()
+                self._num_free_ids -= 1
                 return free.pop()
         return len(self._src)
 
@@ -302,6 +342,7 @@ class DynamicGraph:
         self._num_live_edges -= 1
         if self.recycle_edge_ids:
             self._free_ids[src].append(edge_id)
+            self._num_free_ids += 1
         self._journal_edges.add(edge_id)
         self._journal_vertices.add(src)
         self._journal_vertices.add(dst)
@@ -394,6 +435,12 @@ class DynamicGraph:
         column = self._dst if take_dst else self._src
         return [column[e] for e in edge_ids]
 
+    def edge_labels(self, edge_ids) -> np.ndarray:
+        """Edge-label gather for an id array, without building records."""
+        lab = self._label
+        ids = edge_ids.tolist() if hasattr(edge_ids, "tolist") else edge_ids
+        return np.fromiter((lab[e] for e in ids), dtype=np.int64, count=len(ids))
+
     def incident_edges(self, vertex: int) -> Iterator[int]:
         """All live edge ids touching ``vertex`` (out first, then in)."""
         yield from self.out_edges(vertex)
@@ -453,12 +500,271 @@ class DynamicGraph:
         return len(self._src)
 
     # ------------------------------------------------------------------ bulk helpers
+    def apply_insert_columns(
+        self,
+        src,
+        dst,
+        label=None,
+        timestamp=None,
+        src_label=None,
+        dst_label=None,
+        edge_ids=None,
+    ) -> list[int]:
+        """Insert a whole batch from contiguous columns; returns the edge ids.
+
+        The columnar counterpart of calling :meth:`add_edge` per event.
+        Columns are int64 (``timestamp`` float64) arrays of equal length;
+        missing columns default to zeros.  The resulting graph state —
+        including the **edge-id sequence** — is bit-identical to the
+        per-edge path: the per-source LIFO free-list replay below hands
+        out exactly the ids :meth:`_allocate_id` would, and fresh ids are
+        consecutive, which is what lets the fresh majority of a batch be
+        appended with one bulk extend per column.
+
+        ``edge_ids`` forces the ids (the sharded path, where a router-level
+        allocator owns the id space); forced ids follow the same pad /
+        overwrite / liveness rules as :meth:`add_edge`.
+        """
+        src_arr = np.asarray(src, dtype=np.int64)
+        n = int(src_arr.shape[0])
+        if n == 0:
+            return []
+        dst_arr = np.asarray(dst, dtype=np.int64)
+        label_arr = (
+            np.zeros(n, dtype=np.int64) if label is None
+            else np.asarray(label, dtype=np.int64)
+        )
+        ts_arr = (
+            np.zeros(n, dtype=np.float64) if timestamp is None
+            else np.asarray(timestamp, dtype=np.float64)
+        )
+        slab_arr = (
+            np.zeros(n, dtype=np.int64) if src_label is None
+            else np.asarray(src_label, dtype=np.int64)
+        )
+        dlab_arr = (
+            np.zeros(n, dtype=np.int64) if dst_label is None
+            else np.asarray(dst_label, dtype=np.int64)
+        )
+
+        src_list = src_arr.tolist()
+        dst_list = dst_arr.tolist()
+        label_list = label_arr.tolist()
+        ts_list = ts_arr.tolist()
+
+        # -- vertices (same per-event src-then-dst order and relabel rules
+        #    as add_vertex, so _vertex_order comes out identical)
+        labels = self._vertex_labels
+        order = self._vertex_order
+        position = self._vertex_position
+        slab_list = slab_arr.tolist()
+        dlab_list = dlab_arr.tolist()
+        # Steady-state fast path: every endpoint already registered.  The
+        # per-event loop then only *checks* labels, never mutates, so the
+        # whole pass collapses to one vectorized conflict test per batch
+        # (falling back to the loop to raise the per-event error on a hit).
+        uniq_v, inverse = np.unique(
+            np.concatenate([src_arr, dst_arr]), return_inverse=True
+        )
+        known = [labels.get(v) for v in uniq_v.tolist()]
+        if None not in known:
+            existing_ev = np.asarray(known, dtype=np.int64)[inverse]
+            ev_lab = np.concatenate([slab_arr, dlab_arr])
+            conflicts = bool(((ev_lab != 0) & (existing_ev != ev_lab)).any())
+        else:
+            conflicts = True  # new vertices: take the registering loop
+        if conflicts:
+            for i in range(n):
+                for vertex, lab in (
+                    (src_list[i], slab_list[i]),
+                    (dst_list[i], dlab_list[i]),
+                ):
+                    existing = labels.get(vertex)
+                    if existing is None:
+                        position[vertex] = len(order)
+                        order.append(vertex)
+                        labels[vertex] = lab
+                    elif existing != lab and lab != 0:
+                        raise GraphError(
+                            f"vertex {vertex} already has label {existing}, "
+                            f"cannot relabel to {lab}"
+                        )
+
+        # -- edge-id assignment + edge columns
+        old_len = len(self._src)
+        stats = self.stats
+        if edge_ids is not None:
+            ids_arr = np.asarray(edge_ids, dtype=np.int64)
+            ids_list = ids_arr.tolist()
+            # forced ids (shard path): replay add_edge's pad/overwrite rules
+            # event by event — gaps and overwrites are order-sensitive
+            for i, eid in enumerate(ids_list):
+                if eid < len(self._src) and self._alive[eid]:
+                    raise GraphError(f"edge id {eid} is already a live edge")
+                while len(self._src) < eid:
+                    self._src.append(0)
+                    self._dst.append(0)
+                    self._label.append(0)
+                    self._timestamp.append(0.0)
+                    self._alive.append(False)
+                if eid == len(self._src):
+                    self._src.append(src_list[i])
+                    self._dst.append(dst_list[i])
+                    self._label.append(label_list[i])
+                    self._timestamp.append(ts_list[i])
+                    self._alive.append(True)
+                else:
+                    self._src[eid] = src_list[i]
+                    self._dst[eid] = dst_list[i]
+                    self._label[eid] = label_list[i]
+                    self._timestamp[eid] = ts_list[i]
+                    self._alive[eid] = True
+        else:
+            # replay _allocate_id exactly: per-source LIFO recycling first,
+            # then consecutive fresh ids starting at the current length
+            ids_arr = np.empty(n, dtype=np.int64)
+            next_id = old_len
+            num_recycled = 0
+            if self.recycle_edge_ids and self._num_free_ids > 0:
+                free_ids = self._free_ids
+                for i, s in enumerate(src_list):
+                    free = free_ids.get(s)
+                    if free:
+                        ids_arr[i] = free.pop()
+                        stats.record_recycle()
+                        num_recycled += 1
+                    else:
+                        ids_arr[i] = next_id
+                        next_id += 1
+                self._num_free_ids -= num_recycled
+            else:
+                ids_arr[:] = np.arange(old_len, old_len + n, dtype=np.int64)
+                next_id = old_len + n
+            ids_list = ids_arr.tolist()
+            if num_recycled == 0:
+                self._src.extend(src_list)
+                self._dst.extend(dst_list)
+                self._label.extend(label_list)
+                self._timestamp.extend(ts_list)
+                self._alive.extend([True] * n)
+            else:
+                fresh = (ids_arr >= old_len).tolist()
+                self._src.extend(
+                    [src_list[i] for i in range(n) if fresh[i]]
+                )
+                self._dst.extend(
+                    [dst_list[i] for i in range(n) if fresh[i]]
+                )
+                self._label.extend(
+                    [label_list[i] for i in range(n) if fresh[i]]
+                )
+                self._timestamp.extend(
+                    [ts_list[i] for i in range(n) if fresh[i]]
+                )
+                self._alive.extend([True] * (n - num_recycled))
+                for i in range(n):
+                    if fresh[i]:
+                        continue
+                    eid = ids_list[i]
+                    self._src[eid] = src_list[i]
+                    self._dst[eid] = dst_list[i]
+                    self._label[eid] = label_list[i]
+                    self._timestamp[eid] = ts_list[i]
+                    self._alive[eid] = True
+
+        # -- numpy endpoint mirrors: grow once, scatter once
+        max_id = int(ids_arr.max())
+        if max_id >= self._src_col.shape[0]:
+            self._src_col = self._grow_column(self._src_col, max_id + 1)
+            self._dst_col = self._grow_column(self._dst_col, max_id + 1)
+        self._src_col[ids_arr] = src_arr
+        self._dst_col[ids_arr] = dst_arr
+
+        # -- adjacency: one tight pass, everything hoisted.  Streaming
+        #    batches rarely repeat a (vertex, label) pair often enough for
+        #    group-then-extend to pay for building the groups, so this
+        #    appends straight into the target structures — the same five
+        #    appends add_edge performs, shorn of its per-event overhead
+        #    (id allocation, stats, journal and column scatter all happen
+        #    in bulk above/below).
+        out_adj = self._out
+        in_adj = self._in
+        out_by_label = self._out_by_label
+        in_by_label = self._in_by_label
+        triple_index = self._triple_index
+        for eid, s, d, lb in zip(ids_list, src_list, dst_list, label_list):
+            out_adj[s].append(eid)
+            in_adj[d].append(eid)
+            parts = out_by_label.get(s)
+            if parts is None:
+                parts = out_by_label[s] = {}
+            vec = parts.get(lb)
+            if vec is None:
+                vec = parts[lb] = IntVector()
+            vec.append(eid)
+            parts = in_by_label.get(d)
+            if parts is None:
+                parts = in_by_label[d] = {}
+            vec = parts.get(lb)
+            if vec is None:
+                vec = parts[lb] = IntVector()
+            vec.append(eid)
+            triple_index[(s, d, lb)].append(eid)
+
+        # -- accounting (bulk-equivalent to the per-event record_insert calls:
+        #    placeholders and live counts grow monotonically within an insert
+        #    batch, so the running peak maxes equal the final-value maxes)
+        self._num_live_edges += n
+        self._journal_edges.update(ids_list)
+        self._journal_vertices.update(src_list)
+        self._journal_vertices.update(dst_list)
+        stats.inserts += n
+        stats.peak_placeholders = max(stats.peak_placeholders, len(self._src))
+        stats.peak_live = max(stats.peak_live, self._num_live_edges)
+        return ids_list
+
+    def apply_delete_columns(self, edge_ids) -> list[EdgeRecord]:
+        """Delete a batch of edge ids (in order) and return their records.
+
+        Deletion is inherently order-sensitive — swap-pop positions and
+        the per-source free-list order both depend on the event sequence —
+        so this delegates to :meth:`delete_edge` per id; the batch win on
+        the delete side lives in the bulk DEBI mask capture / row clears
+        that the pipeline performs around this call.
+        """
+        ids = np.asarray(edge_ids, dtype=np.int64)
+        return [self.delete_edge(eid) for eid in ids.tolist()]
+
     def apply_insertions(self, triples: Iterable[tuple]) -> list[int]:
-        """Insert many edges; each item is (src, dst, label[, timestamp[, src_label, dst_label]])."""
-        ids = []
-        for item in triples:
-            ids.append(self.add_edge(*item))
-        return ids
+        """Insert many edges; each item is (src, dst, label[, timestamp[, src_label, dst_label]]).
+
+        .. deprecated::
+            Thin shim over :meth:`apply_insert_columns`, kept for callers
+            that still hold per-event tuples.  New code should decode the
+            batch into columns once (``EventColumns``) and call the
+            columnar API directly.
+        """
+        rows = [tuple(item) for item in triples]
+        n = len(rows)
+        if n == 0:
+            return []
+        src = np.fromiter((r[0] for r in rows), dtype=np.int64, count=n)
+        dst = np.fromiter((r[1] for r in rows), dtype=np.int64, count=n)
+        label = np.fromiter(
+            (r[2] if len(r) > 2 else 0 for r in rows), dtype=np.int64, count=n
+        )
+        timestamp = np.fromiter(
+            (r[3] if len(r) > 3 else 0.0 for r in rows), dtype=np.float64, count=n
+        )
+        src_label = np.fromiter(
+            (r[4] if len(r) > 4 else 0 for r in rows), dtype=np.int64, count=n
+        )
+        dst_label = np.fromiter(
+            (r[5] if len(r) > 5 else 0 for r in rows), dtype=np.int64, count=n
+        )
+        return self.apply_insert_columns(
+            src, dst, label, timestamp, src_label, dst_label
+        )
 
     def copy(self) -> "DynamicGraph":
         """Deep copy of the live graph (dead placeholders are preserved)."""
@@ -490,6 +796,7 @@ class DynamicGraph:
                     fresh._n = len(vec)
                     copied[label] = fresh
         clone._free_ids = defaultdict(list, {k: list(v) for k, v in self._free_ids.items()})
+        clone._num_free_ids = self._num_free_ids
         clone._triple_index = defaultdict(list, {k: list(v) for k, v in self._triple_index.items()})
         clone._num_live_edges = self._num_live_edges
         return clone
@@ -568,6 +875,7 @@ class DynamicGraph:
         in_group_vptr, in_group_labels, in_group_indptr, in_label_indices = (
             build_label_csr(self._in_by_label)
         )
+        self._export_count += 1
         snapshot = CSRSnapshot(
             vertex_ids=np.array(vertex_ids, dtype=np.int64),
             vertex_labels=np.fromiter(
@@ -620,10 +928,16 @@ class DynamicGraph:
         ):
             return self.export_csr()
         snapshot = self._splice_csr(prev)
+        self._export_count += 1
         self._csr_cache = snapshot
         self._journal_edges.clear()
         self._journal_vertices.clear()
         return snapshot
+
+    @property
+    def export_count(self) -> int:
+        """Number of CSR exports performed (full or spliced) over this graph's life."""
+        return self._export_count
 
     def _splice_csr(self, prev: "CSRSnapshot") -> "CSRSnapshot":
         """Build a fresh :class:`CSRSnapshot` by patching ``prev`` with the journal."""
@@ -693,6 +1007,45 @@ class DynamicGraph:
             prev.edge_alive, self._alive, n, dirty_old, np.uint8
         )
 
+        # Dirty-slice spec for the shared-snapshot writer.  Everything the
+        # splice rebuilt lives at or after the first dirty vertex position
+        # (per-array suffixes); edge columns change only at patched old ids
+        # plus the appended tail.  Conservative supersets are always safe.
+        first_dirty = dirty_pos[0] if dirty_pos else prev_v
+
+        def suffix(start, stop) -> list[tuple[int, int]]:
+            start, stop = int(start), int(stop)
+            return [(start, stop)] if start < stop else []
+
+        edge_ranges = _coalesce_ranges(dirty_old)
+        if n > prev_n:
+            edge_ranges.append((prev_n, n))
+        out_g0 = int(out_label[0][first_dirty])
+        in_g0 = int(in_label[0][first_dirty])
+        dirty_spec: dict = {
+            "vertex_ids": suffix(prev_v, num_vertices),
+            "vertex_labels": suffix(prev_v, num_vertices),
+            "out_indptr": suffix(first_dirty, num_vertices + 1),
+            "in_indptr": suffix(first_dirty, num_vertices + 1),
+            "out_indices": suffix(out_indptr[first_dirty], out_indices.shape[0]),
+            "in_indices": suffix(in_indptr[first_dirty], in_indices.shape[0]),
+            "out_group_vptr": suffix(first_dirty, num_vertices + 1),
+            "out_group_labels": suffix(out_g0, out_label[1].shape[0]),
+            "out_group_indptr": suffix(out_g0, out_label[2].shape[0]),
+            "out_label_indices": suffix(
+                out_label[2][out_g0], out_label[3].shape[0]
+            ),
+            "in_group_vptr": suffix(first_dirty, num_vertices + 1),
+            "in_group_labels": suffix(in_g0, in_label[1].shape[0]),
+            "in_group_indptr": suffix(in_g0, in_label[2].shape[0]),
+            "in_label_indices": suffix(in_label[2][in_g0], in_label[3].shape[0]),
+            "edge_src": edge_ranges,
+            "edge_dst": edge_ranges,
+            "edge_label": edge_ranges,
+            "edge_timestamp": edge_ranges,
+            "edge_alive": edge_ranges,
+        }
+
         return CSRSnapshot(
             vertex_ids=vertex_ids,
             vertex_labels=vertex_labels,
@@ -714,6 +1067,7 @@ class DynamicGraph:
             edge_timestamp=edge_timestamp,
             edge_alive=edge_alive,
             num_live_edges=self._num_live_edges,
+            dirty=dirty_spec,
         )
 
     def _splice_combined(
@@ -946,6 +1300,14 @@ class CSRSnapshot:
     edge_timestamp: np.ndarray  #: float64 [placeholders]
     edge_alive: np.ndarray  #: uint8 [placeholders]
     num_live_edges: int
+    #: dirty-slice spec for the shared-snapshot writer: per array name, the
+    #: half-open element ranges that may differ from the *previous* export
+    #: (a conservative superset), or ``None`` per-name / for the whole dict
+    #: meaning "treat as fully dirty".  Only the incremental splice path
+    #: produces ranges; a full rebuild publishes with ``dirty=None``.
+    dirty: "dict[str, list[tuple[int, int]] | None] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def arrays(self) -> dict[str, np.ndarray]:
         """The array fields keyed by name (the shared-memory publication set)."""

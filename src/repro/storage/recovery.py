@@ -30,7 +30,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def event_tuples(events: Iterable[StreamEvent]) -> list[tuple]:
-    """Flatten events for journal payloads (plain tuples pickle compactly)."""
+    """Flatten events for journal payloads (plain tuples pickle compactly).
+
+    Accepts either an iterable of :class:`StreamEvent` or a columnar
+    :class:`~repro.streams.events.EventColumns` decode of the same batch;
+    the columnar path serializes straight from the arrays, producing
+    value-identical tuples without re-walking per-event attributes.
+    """
+    columnar = getattr(events, "event_tuples", None)
+    if columnar is not None:
+        return columnar()
     return [
         (int(e.kind), e.src, e.dst, e.label, e.timestamp, e.src_label, e.dst_label)
         for e in events

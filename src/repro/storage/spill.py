@@ -202,6 +202,69 @@ class TieredBitMatrix:
         self._check_col(col)
         return (self._gather(rows) & np.uint64(1 << col)) != 0
 
+    def set_rows_col(self, rows: np.ndarray, col: int) -> None:
+        """Set bit ``col`` on every row in ``rows``, tier-aware.
+
+        The hot part is one fancy-indexed OR; cold parts are grouped by
+        segment (one scatter per touched segment).  Segments are only
+        materialized when they actually receive a write, matching the
+        scalar :meth:`set` path.
+        """
+        self._check_col(col)
+        idx = np.asarray(rows, dtype=np.int64)
+        if idx.shape[0] == 0:
+            return
+        check_non_negative(int(idx.min()), "row")
+        self._ensure(int(idx.max()))
+        mask = np.uint64(1 << col)
+        hot = idx < self.hot_rows
+        if np.any(hot):
+            self._hot[idx[hot]] |= mask
+        cold = ~hot
+        if np.any(cold):
+            cold_idx = idx[cold] - self.hot_rows
+            segs = cold_idx // self.segment_rows
+            offs = cold_idx % self.segment_rows
+            for seg in np.unique(segs):
+                segment = self._segment(int(seg), create=True)
+                assert segment is not None
+                members = segs == seg
+                segment[offs[members]] |= mask
+                self.cold_writes += int(np.count_nonzero(members))
+
+    def clear_rows(self, rows: np.ndarray) -> None:
+        """Clear every bit of every row in ``rows``, tier-aware.
+
+        Rows beyond the written range are ignored; cold segments that were
+        never materialized already read as zero and are left missing.
+        """
+        idx = np.asarray(rows, dtype=np.int64)
+        if idx.shape[0] == 0:
+            return
+        check_non_negative(int(idx.min()), "row")
+        idx = idx[idx < self._nrows]
+        if idx.shape[0] == 0:
+            return
+        hot = idx < self.hot_rows
+        if np.any(hot):
+            self._hot[idx[hot]] = 0
+        cold = ~hot
+        if np.any(cold):
+            cold_idx = idx[cold] - self.hot_rows
+            segs = cold_idx // self.segment_rows
+            offs = cold_idx % self.segment_rows
+            for seg in np.unique(segs):
+                segment = self._segments.get(int(seg))
+                if segment is None:
+                    continue  # never materialized: already reads as zero
+                members = segs == seg
+                segment[offs[members]] = 0
+                self.cold_writes += int(np.count_nonzero(members))
+
+    def get_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Gather the full row words for ``rows`` (uint64 array), tier-aware."""
+        return self._gather(np.asarray(rows, dtype=np.int64))
+
     def _live_chunks(self):
         """Yield ``(base_row, words)`` views covering rows [0, _nrows)."""
         if self._nrows == 0:

@@ -13,8 +13,11 @@ the same wire format.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import IntEnum
+from typing import Iterable, Sequence
+
+import numpy as np
 
 
 class EventKind(IntEnum):
@@ -58,6 +61,83 @@ class StreamEvent:
                src_label: int = 0, dst_label: int = 0) -> "StreamEvent":
         """Convenience constructor for a deletion event."""
         return StreamEvent(EventKind.DELETE, src, dst, label, timestamp, src_label, dst_label)
+
+
+@dataclass
+class EventColumns:
+    """A same-kind event batch decoded once into contiguous columns.
+
+    The columnar ingest path decodes a sealed batch's events into int64
+    (and one float64) numpy columns exactly once, then threads the column
+    arrays through graph mutation (`DynamicGraph.apply_insert_columns`),
+    index maintenance (`IndexManager.handle_insert_columns`) and journal
+    sealing — instead of re-reading ``StreamEvent`` attributes per edge at
+    every layer.  All events in one ``EventColumns`` share ``kind``; the
+    batcher already splits insertions from deletions.
+    """
+
+    kind: EventKind
+    src: np.ndarray
+    dst: np.ndarray
+    label: np.ndarray
+    timestamp: np.ndarray
+    src_label: np.ndarray
+    dst_label: np.ndarray
+    #: the original events, kept so per-event consumers (resolve_deletions,
+    #: replay fallbacks) never need to re-materialize dataclass instances
+    events: tuple = field(default=(), repr=False, compare=False)
+
+    @classmethod
+    def from_events(cls, kind: EventKind,
+                    events: Sequence[StreamEvent]) -> "EventColumns":
+        """Decode ``events`` (all of ``kind``) into contiguous columns."""
+        events = tuple(events)
+        n = len(events)
+        src = np.empty(n, dtype=np.int64)
+        dst = np.empty(n, dtype=np.int64)
+        label = np.empty(n, dtype=np.int64)
+        timestamp = np.empty(n, dtype=np.float64)
+        src_label = np.empty(n, dtype=np.int64)
+        dst_label = np.empty(n, dtype=np.int64)
+        for i, event in enumerate(events):
+            src[i] = event.src
+            dst[i] = event.dst
+            label[i] = event.label
+            timestamp[i] = event.timestamp
+            src_label[i] = event.src_label
+            dst_label[i] = event.dst_label
+        return cls(kind, src, dst, label, timestamp, src_label, dst_label, events)
+
+    def __len__(self) -> int:
+        return int(self.src.shape[0])
+
+    def take(self, indices: Iterable[int]) -> "EventColumns":
+        """Return a new batch holding the rows at ``indices`` (in order)."""
+        idx = np.asarray(list(indices) if not isinstance(indices, np.ndarray)
+                         else indices, dtype=np.int64)
+        events = tuple(self.events[int(i)] for i in idx) if self.events else ()
+        return EventColumns(
+            self.kind, self.src[idx], self.dst[idx], self.label[idx],
+            self.timestamp[idx], self.src_label[idx], self.dst_label[idx],
+            events,
+        )
+
+    def event_tuples(self) -> list[tuple]:
+        """Journal tuples, value-identical to ``recovery.event_tuples``.
+
+        ``.tolist()`` yields native Python ints/floats, so the pickled
+        payload round-trips to the same :class:`StreamEvent` values as the
+        per-event path.
+        """
+        kind = int(self.kind)
+        return [
+            (kind, s, d, lb, ts, sl, dl)
+            for s, d, lb, ts, sl, dl in zip(
+                self.src.tolist(), self.dst.tolist(), self.label.tolist(),
+                self.timestamp.tolist(), self.src_label.tolist(),
+                self.dst_label.tolist(),
+            )
+        ]
 
 
 def encode_lsbench_triple(event: StreamEvent) -> tuple[int, int, int]:

@@ -59,6 +59,9 @@ class Snapshot:
     first_arrival: float | None = None
     #: arrival stamp at which the batch was sealed (size cap, deadline or EOS)
     sealed_at: float | None = None
+    #: lazy one-shot columnar decodes (see :meth:`insert_columns`)
+    _insert_cols: object = field(default=None, repr=False, compare=False)
+    _delete_cols: object = field(default=None, repr=False, compare=False)
 
     @property
     def insert_batch_size(self) -> int:
@@ -71,6 +74,31 @@ class Snapshot:
     @property
     def is_empty(self) -> bool:
         return not self.insertions and not self.deletions
+
+    def insert_columns(self):
+        """Decoded int64 columns for ``insertions`` (cached, None when empty).
+
+        Sealed batches are immutable, so the decode happens once per
+        batch no matter how many consumers ask — engine ingest, shard
+        fan-out and the journal all share the same arrays.
+        """
+        if self._insert_cols is None and self.insertions:
+            from repro.streams.events import EventColumns, EventKind
+
+            self._insert_cols = EventColumns.from_events(
+                EventKind.INSERT, self.insertions
+            )
+        return self._insert_cols
+
+    def delete_columns(self):
+        """Decoded int64 columns for ``deletions`` (cached, None when empty)."""
+        if self._delete_cols is None and self.deletions:
+            from repro.streams.events import EventColumns, EventKind
+
+            self._delete_cols = EventColumns.from_events(
+                EventKind.DELETE, self.deletions
+            )
+        return self._delete_cols
 
 
 class SnapshotBatcher:

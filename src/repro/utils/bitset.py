@@ -330,6 +330,44 @@ class BitMatrix:
         gathered[valid] = self._rows[rows[valid]]
         return (gathered & np.uint64(1 << col)) != 0
 
+    def set_rows_col(self, rows: np.ndarray, col: int) -> None:
+        """Set bit ``col`` on every row in ``rows`` (vectorized bulk write).
+
+        The columnar-ingest counterpart of :meth:`set`: one fancy-indexed
+        OR over the whole id array.  Duplicate row ids are safe — numpy's
+        buffered fancy assignment applies the (idempotent) OR once.
+        """
+        self._check_col(col)
+        idx = np.asarray(rows, dtype=np.int64)
+        if idx.shape[0] == 0:
+            return
+        check_non_negative(int(idx.min()), "row")
+        self._ensure(int(idx.max()))
+        self._rows[idx] |= np.uint64(1 << col)
+
+    def clear_rows(self, rows: np.ndarray) -> None:
+        """Clear every bit of every row in ``rows`` (vectorized bulk clear).
+
+        The bulk counterpart of :meth:`clear_row`; rows beyond the written
+        range are ignored, mirroring the scalar semantics.
+        """
+        idx = np.asarray(rows, dtype=np.int64)
+        if idx.shape[0] == 0:
+            return
+        check_non_negative(int(idx.min()), "row")
+        self._rows[idx[idx < self._nrows]] = 0
+
+    def get_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Gather the full row words for ``rows`` (uint64 array).
+
+        Rows beyond the written range read as 0, mirroring :meth:`get_row`.
+        """
+        idx = np.asarray(rows, dtype=np.int64)
+        gathered = np.zeros(idx.shape[0], dtype=np.uint64)
+        valid = idx < self._nrows
+        gathered[valid] = self._rows[idx[valid]]
+        return gathered
+
     def count(self) -> int:
         """Total number of set bits across all rows."""
         if self._nrows == 0:
